@@ -1,0 +1,232 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure from the paper's
+   evaluation (Section 5) and prints them with the paper's numbers or
+   claims alongside — this is the reproduction artifact.
+
+   Part 2 runs Bechamel microbenchmarks: one Test.make per paper
+   table/figure (measuring the cost of regenerating it, i.e. the whole
+   simulated experiment), plus microbenchmarks of the core data
+   structures (state-table transitions, XDR codecs, the block cache,
+   the event queue) and ablation benches for the design choices
+   DESIGN.md calls out. *)
+
+open Bechamel
+open Toolkit
+
+(* ---- part 1: the reproduction ---- *)
+
+let tables : (string * (unit -> string)) list =
+  [
+    ("Table 5-1", Experiments.Andrew_exp.table_5_1);
+    ("Table 5-2", Experiments.Andrew_exp.table_5_2);
+    ("Table 5-3", Experiments.Sort_exp.table_5_3);
+    ("Table 5-4", Experiments.Sort_exp.table_5_4);
+    ("Table 5-5", Experiments.Sort_exp.table_5_5);
+    ("Table 5-6", Experiments.Sort_exp.table_5_6);
+    ("Figures 5-1 and 5-2", Experiments.Andrew_exp.figures_5_1_and_5_2);
+    ("Section 5.3 microbenchmark", Experiments.Sort_exp.reread_check);
+  ]
+
+let reproduce () =
+  print_endline
+    "=====================================================================";
+  print_endline
+    " Spritely NFS (Srinivasan & Mogul, SOSP 1989) - full reproduction";
+  print_endline
+    "=====================================================================\n";
+  List.iter
+    (fun (_, f) ->
+      print_string (f ());
+      print_newline ())
+    tables
+
+(* ---- part 2: Bechamel ---- *)
+
+(* one Test.make per table: the workload is the entire simulated
+   experiment that regenerates it *)
+let table_tests =
+  List.map
+    (fun (name, f) ->
+      Test.make ~name
+        (Staged.stage (fun () -> ignore (Sys.opaque_identity (f ())))))
+    tables
+
+(* microbenchmarks of the structures everything else is built on *)
+let micro_tests =
+  [
+    Test.make ~name:"state_table open+close x50"
+      (Staged.stage (fun () ->
+           let t = Spritely.State_table.create () in
+           for file = 1 to 50 do
+             ignore
+               (Spritely.State_table.open_file t ~file ~client:1
+                  ~mode:Spritely.State_table.Write);
+             Spritely.State_table.close_file t ~file ~client:1
+               ~mode:Spritely.State_table.Write
+           done));
+    Test.make ~name:"state_table write-sharing transition"
+      (Staged.stage (fun () ->
+           let t = Spritely.State_table.create () in
+           ignore
+             (Spritely.State_table.open_file t ~file:1 ~client:1
+                ~mode:Spritely.State_table.Read);
+           ignore
+             (Spritely.State_table.open_file t ~file:1 ~client:2
+                ~mode:Spritely.State_table.Write)));
+    Test.make ~name:"xdr attrs round trip"
+      (Staged.stage (fun () ->
+           let attrs =
+             {
+               Localfs.ino = 42;
+               gen = 1;
+               ftype = Localfs.File;
+               size = 123456;
+               nlink = 1;
+               mtime = 100.5;
+               ctime = 99.0;
+             }
+           in
+           let e = Xdr.Enc.create () in
+           Nfs.Wire.enc_attrs e attrs;
+           let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+           ignore (Sys.opaque_identity (Nfs.Wire.dec_attrs d))));
+    Test.make ~name:"eventq push+pop x1000"
+      (Staged.stage (fun () ->
+           let q = Sim.Eventq.create () in
+           for i = 0 to 999 do
+             Sim.Eventq.push q
+               ~time:(float_of_int ((i * 7919) mod 1000))
+               ~seq:i
+               (fun () -> ())
+           done;
+           while not (Sim.Eventq.is_empty q) do
+             ignore (Sim.Eventq.pop q)
+           done));
+    Test.make ~name:"sim 10k sleeping processes"
+      (Staged.stage (fun () ->
+           let e = Sim.Engine.create () in
+           for i = 1 to 10_000 do
+             Sim.Engine.spawn e (fun () ->
+                 Sim.Engine.sleep e (float_of_int (i mod 97)))
+           done;
+           Sim.Engine.run e));
+    Test.make ~name:"blockcache write+flush x100"
+      (Staged.stage (fun () ->
+           let e = Sim.Engine.create () in
+           Sim.Engine.spawn e (fun () ->
+               let backend =
+                 {
+                   Blockcache.Cache.read_block =
+                     (fun ~file:_ ~index:_ -> (0, 0));
+                   write_block = (fun ~file:_ ~index:_ ~stamp:_ ~len:_ -> ());
+                 }
+               in
+               let c =
+                 Blockcache.Cache.create e ~name:"bench" ~capacity_blocks:128
+                   ~block_size:4096 backend
+               in
+               for i = 0 to 99 do
+                 Blockcache.Cache.write c ~file:1 ~index:i ~stamp:i ~len:4096
+                   `Delayed
+               done;
+               Blockcache.Cache.flush_all c);
+           Sim.Engine.run e));
+  ]
+
+(* extension experiments, one Test.make each *)
+let extension_tests =
+  [
+    Test.make ~name:"extension client scaling (4 clients, SNFS)"
+      (Staged.stage (fun () ->
+           ignore
+             (Sys.opaque_identity
+                (Experiments.Scaling_exp.run
+                   ~protocol:
+                     (Experiments.Testbed.Snfs_proto
+                        Snfs.Snfs_client.default_config)
+                   ~clients:4 ()))));
+    Test.make ~name:"extension trace-driven mix (SNFS)"
+      (Staged.stage (fun () ->
+           ignore
+             (Sys.opaque_identity
+                (Experiments.Trace_exp.table ()))));
+    Test.make ~name:"extension shared-database (4 protocols)"
+      (Staged.stage (fun () ->
+           ignore (Sys.opaque_identity (Experiments.Sharing_exp.table ()))));
+  ]
+
+(* ablation benches: the design choices DESIGN.md calls out; each runs
+   a full Andrew simulation under the variant *)
+let ablation_tests =
+  let andrew protocol () =
+    ignore
+      (Sys.opaque_identity
+         (Experiments.Andrew_exp.run_variant
+            {
+              Experiments.Andrew_exp.label = "bench";
+              protocol;
+              tmp = Experiments.Testbed.Tmp_remote;
+            }))
+  in
+  [
+    Test.make ~name:"ablation NFS with invalidate-on-close bug"
+      (Staged.stage
+         (andrew (Experiments.Testbed.Nfs_proto Nfs.Nfs_client.default_config)));
+    Test.make ~name:"ablation NFS bug fixed"
+      (Staged.stage
+         (andrew
+            (Experiments.Testbed.Nfs_proto
+               { Nfs.Nfs_client.default_config with invalidate_on_close = false })));
+    Test.make ~name:"ablation SNFS delayed close (sec 6.2)"
+      (Staged.stage
+         (andrew
+            (Experiments.Testbed.Snfs_proto
+               { Snfs.Snfs_client.default_config with delayed_close = true })));
+    Test.make ~name:"ablation RFS baseline (sec 2.5)"
+      (Staged.stage
+         (andrew (Experiments.Testbed.Rfs_proto Rfs.Rfs_client.default_config)));
+  ]
+
+let run_bechamel tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false
+      ~kde:None ()
+  in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"spritely" tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> (name, est) :: acc
+        | Some _ | None -> (name, Float.nan) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let fmt_time ns =
+    if Float.is_nan ns then "n/a"
+    else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  print_string
+    (Stats.Table.render
+       ~header:[ "benchmark"; "host time/run" ]
+       (List.map (fun (name, est) -> [ name; fmt_time est ]) rows))
+
+let () =
+  reproduce ();
+  print_endline
+    "=====================================================================";
+  print_endline " Bechamel microbenchmarks (host-CPU cost, not simulated time)";
+  print_endline
+    "=====================================================================\n";
+  run_bechamel (micro_tests @ table_tests @ ablation_tests @ extension_tests)

@@ -1,0 +1,205 @@
+(* Command-line driver: regenerate any of the paper's tables and
+   figures, or run individual benchmarks with custom parameters. *)
+
+open Cmdliner
+
+let protocol_of_string = function
+  | "local" -> Ok Experiments.Testbed.Local
+  | "nfs" -> Ok (Experiments.Testbed.Nfs_proto Nfs.Nfs_client.default_config)
+  | "nfs-fixed" ->
+      Ok
+        (Experiments.Testbed.Nfs_proto
+           { Nfs.Nfs_client.default_config with invalidate_on_close = false })
+  | "snfs" ->
+      Ok (Experiments.Testbed.Snfs_proto Snfs.Snfs_client.default_config)
+  | "snfs-dc" ->
+      Ok
+        (Experiments.Testbed.Snfs_proto
+           { Snfs.Snfs_client.default_config with delayed_close = true })
+  | "rfs" -> Ok (Experiments.Testbed.Rfs_proto Rfs.Rfs_client.default_config)
+  | "kent" ->
+      Ok (Experiments.Testbed.Kent_proto Kentfs.Kent_client.default_config)
+  | s -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
+
+let protocol_conv =
+  Arg.conv
+    ( protocol_of_string,
+      fun fmt p ->
+        Format.pp_print_string fmt (Experiments.Testbed.protocol_name p) )
+
+let protocol_arg =
+  let doc =
+    "File system protocol: local, nfs, nfs-fixed (no invalidate-on-close \
+     bug), snfs, snfs-dc (delayed close), rfs, kent (block granularity)."
+  in
+  Arg.(
+    value
+    & opt protocol_conv
+        (Experiments.Testbed.Snfs_proto Snfs.Snfs_client.default_config)
+    & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc)
+
+(* ---- table command ---- *)
+
+let known_tables =
+  [
+    ("5-1", Experiments.Andrew_exp.table_5_1);
+    ("5-2", Experiments.Andrew_exp.table_5_2);
+    ("5-3", Experiments.Sort_exp.table_5_3);
+    ("5-4", Experiments.Sort_exp.table_5_4);
+    ("5-5", Experiments.Sort_exp.table_5_5);
+    ("5-6", Experiments.Sort_exp.table_5_6);
+  ]
+
+let table_cmd =
+  let id =
+    let doc = "Table to regenerate: 5-1, 5-2, 5-3, 5-4, 5-5, or 5-6." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TABLE" ~doc)
+  in
+  let run id =
+    match List.assoc_opt id known_tables with
+    | Some f ->
+        print_string (f ());
+        Ok ()
+    | None -> Error (Printf.sprintf "unknown table %S" id)
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Regenerate one of the paper's tables.")
+    Term.(term_result' (const run $ id))
+
+let figures_cmd =
+  let run () =
+    print_string (Experiments.Andrew_exp.figures_5_1_and_5_2 ())
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate Figures 5-1 and 5-2.")
+    Term.(const run $ const ())
+
+let all_cmd =
+  let run () =
+    List.iter (fun (_, f) -> print_string (f ())) known_tables;
+    print_string (Experiments.Andrew_exp.figures_5_1_and_5_2 ());
+    print_string (Experiments.Sort_exp.reread_check ())
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every table and figure.")
+    Term.(const run $ const ())
+
+(* ---- single benchmark runs ---- *)
+
+let update_arg =
+  let doc = "Disable the periodic /etc/update write-back daemon." in
+  Arg.(value & flag & info [ "no-update" ] ~doc)
+
+let andrew_cmd =
+  let tmp_arg =
+    let doc = "Where /tmp lives: local or remote." in
+    Arg.(value & opt string "remote" & info [ "tmp" ] ~docv:"WHERE" ~doc)
+  in
+  let run protocol tmp no_update =
+    let tmp =
+      match tmp with
+      | "local" -> Experiments.Testbed.Tmp_local
+      | _ -> Experiments.Testbed.Tmp_remote
+    in
+    let result =
+      Experiments.Driver.run (fun engine ->
+          let tb =
+            Experiments.Testbed.create engine ~protocol ~tmp
+              ~update_interval:(if no_update then None else Some 30.0)
+              ()
+          in
+          let ctx = Experiments.Testbed.ctx tb in
+          let config = Workload.Andrew.default_config in
+          let tree = Workload.Andrew.setup ctx config in
+          Experiments.Testbed.drain tb ~horizon:65.0;
+          let before = Experiments.Testbed.rpc_counts tb in
+          let phases = Workload.Andrew.run ctx config tree in
+          let counts =
+            Stats.Counter.diff (Experiments.Testbed.rpc_counts tb) before
+          in
+          (phases, counts))
+    in
+    let phases, counts = result in
+    Printf.printf
+      "Andrew (%s): MakeDir %.1f  Copy %.1f  ScanDir %.1f  ReadAll %.1f  \
+       Make %.1f  Total %.1f\n"
+      (Experiments.Testbed.protocol_name protocol)
+      phases.Workload.Andrew.makedir phases.Workload.Andrew.copy
+      phases.Workload.Andrew.scandir phases.Workload.Andrew.readall
+      phases.Workload.Andrew.make
+      (Workload.Andrew.total phases);
+    List.iter
+      (fun (name, n) -> Printf.printf "  %-10s %6d\n" name n)
+      (Stats.Counter.to_list counts)
+  in
+  Cmd.v
+    (Cmd.info "andrew" ~doc:"Run the Andrew benchmark once.")
+    Term.(const run $ protocol_arg $ tmp_arg $ update_arg)
+
+let sort_cmd =
+  let size_arg =
+    let doc = "Input size in kilobytes." in
+    Arg.(value & opt int 2816 & info [ "input-kb" ] ~docv:"KB" ~doc)
+  in
+  let run protocol input_kb no_update =
+    let r =
+      Experiments.Sort_exp.run_sort ~protocol
+        ~update:(if no_update then None else Some 30.0)
+        ~input_kb
+        ~label:(Experiments.Testbed.protocol_name protocol)
+        ()
+    in
+    Printf.printf
+      "sort %d kB on %s: %.1f s (temp written %d kB, client CPU busy %.1f s)\n"
+      input_kb r.Experiments.Sort_exp.label r.Experiments.Sort_exp.elapsed
+      (r.Experiments.Sort_exp.temp_bytes / 1024)
+      r.Experiments.Sort_exp.client_busy;
+    List.iter
+      (fun (name, n) -> Printf.printf "  %-10s %6d\n" name n)
+      (Stats.Counter.to_list r.Experiments.Sort_exp.counts)
+  in
+  Cmd.v
+    (Cmd.info "sort" ~doc:"Run the external-sort benchmark once.")
+    Term.(const run $ protocol_arg $ size_arg $ update_arg)
+
+let sharing_cmd =
+  let run () = print_string (Experiments.Sharing_exp.table ()) in
+  Cmd.v
+    (Cmd.info "sharing"
+       ~doc:
+         "Run the shared-database extension experiment (concurrent           write-sharing, all protocols).")
+    Term.(const run $ const ())
+
+let trace_cmd =
+  let run () = print_string (Experiments.Trace_exp.table ()) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Replay a realistic trace-style operation mix under every protocol.")
+    Term.(const run $ const ())
+
+let ablations_cmd =
+  let run () =
+    print_string (Experiments.Ablation_exp.table ());
+    print_string (Experiments.Ablation_exp.write_back_policy_table ())
+  in
+  Cmd.v
+    (Cmd.info "ablations"
+       ~doc:"Run the design-choice ablations on the Andrew benchmark.")
+    Term.(const run $ const ())
+
+let scaling_cmd =
+  let run () = print_string (Experiments.Scaling_exp.table ()) in
+  Cmd.v
+    (Cmd.info "scaling"
+       ~doc:"Run the client-scaling extension experiment (N clients, one server).")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "snfs_sim" ~version:"1.0"
+       ~doc:
+         "Spritely NFS reproduction: regenerate the tables and figures of \
+          Srinivasan & Mogul, SOSP 1989, from a discrete-event simulation.")
+    [ table_cmd; figures_cmd; all_cmd; andrew_cmd; sort_cmd; scaling_cmd; ablations_cmd; trace_cmd; sharing_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/andrew_compare.mli:

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Diskm Experiments List Localfs Netsim Printf Sim Snfs Spritely Vfs

@@ -1,0 +1,1 @@
+examples/hybrid_mount.ml: Diskm Experiments List Localfs Netsim Nfs Printf Sim Snfs Spritely Vfs

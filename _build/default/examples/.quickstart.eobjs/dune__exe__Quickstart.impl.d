@@ -1,0 +1,1 @@
+examples/quickstart.ml: Blockcache Diskm Experiments Localfs Netsim Option Printf Sim Snfs Spritely Stats Vfs

@@ -1,0 +1,1 @@
+examples/sort_compare.ml: Experiments Kentfs List Nfs Printf Rfs Snfs Stats

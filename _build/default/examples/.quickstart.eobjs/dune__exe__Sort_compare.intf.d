@@ -1,0 +1,1 @@
+examples/sort_compare.mli:

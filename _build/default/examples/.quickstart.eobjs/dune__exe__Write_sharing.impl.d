@@ -1,0 +1,1 @@
+examples/write_sharing.ml: Diskm Experiments List Localfs Netsim Nfs Rfs Sim Snfs Stats Vfs

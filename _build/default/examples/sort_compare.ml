@@ -1,0 +1,51 @@
+(* The external-sort benchmark across protocols, with and without the
+   /etc/update write-back daemon — the experiment where delayed writes
+   shine brightest (Sections 5.3 and 5.4 of the paper).
+
+   Run with:  dune exec examples/sort_compare.exe *)
+
+let () =
+  let protocols =
+    [
+      ("local", Experiments.Testbed.Local);
+      ("NFS", Experiments.Testbed.Nfs_proto Nfs.Nfs_client.default_config);
+      ("RFS", Experiments.Testbed.Rfs_proto Rfs.Rfs_client.default_config);
+      ( "Kent blocks",
+        Experiments.Testbed.Kent_proto Kentfs.Kent_client.default_config );
+      ("SNFS", Experiments.Testbed.Snfs_proto Snfs.Snfs_client.default_config);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (label, protocol) ->
+        List.map
+          (fun (upd_label, update) ->
+            let r =
+              Experiments.Sort_exp.run_sort ~protocol ~update ~input_kb:2816
+                ~label ()
+            in
+            [
+              label ^ upd_label;
+              Printf.sprintf "%.1f" r.Experiments.Sort_exp.elapsed;
+              string_of_int
+                (Stats.Counter.get r.Experiments.Sort_exp.counts "write");
+              string_of_int
+                (Stats.Counter.get r.Experiments.Sort_exp.counts "read");
+              Printf.sprintf "%.0f%%"
+                (100.0 *. r.Experiments.Sort_exp.client_busy
+                /. r.Experiments.Sort_exp.elapsed);
+            ])
+          [ (", update on", Some 30.0); (", update off", None) ])
+      protocols
+  in
+  print_string
+    (Stats.Table.render
+       ~header:
+         [ "configuration"; "elapsed (s)"; "write RPCs"; "read RPCs"; "CPU util" ]
+       rows);
+  print_newline ();
+  print_endline
+    "2816 kB input, 8448 kB of temporaries through /usr/tmp. With the\n\
+     update daemon off, SNFS's temporaries die before any write-back:\n\
+     zero write RPCs, local-disk speed. NFS writes every block through\n\
+     no matter what."

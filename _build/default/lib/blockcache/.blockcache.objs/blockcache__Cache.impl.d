@@ -1,0 +1,1 @@
+lib/blockcache/cache.ml: Hashtbl List Printf Sim

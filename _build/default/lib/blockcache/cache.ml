@@ -1,0 +1,462 @@
+type backend = {
+  read_block : file:int -> index:int -> int * int;
+  write_block : file:int -> index:int -> stamp:int -> len:int -> unit;
+}
+
+type wstate = Clean | Dirty of float | Writing of { mutable redirtied : float option }
+
+type block = {
+  bfile : int;
+  bindex : int;
+  mutable stamp : int;
+  mutable len : int;
+  mutable fetching : (int * int) Sim.Ivar.t option;
+  mutable w : wstate;
+  mutable doomed : bool; (* deleted while a write/fetch was in flight *)
+  mutable write_waiters : (unit -> unit) list;
+  mutable lru_prev : block option;
+  mutable lru_next : block option;
+}
+
+type pending = { mutable count : int; mutable waiters : (unit -> unit) list }
+
+type t = {
+  engine : Sim.Engine.t;
+  name : string;
+  capacity : int;
+  block_size : int;
+  backend : backend;
+  files : (int, (int, block) Hashtbl.t) Hashtbl.t;
+  mutable count : int;
+  mutable lru_head : block option; (* least recently used *)
+  mutable lru_tail : block option; (* most recently used *)
+  pending : (int, pending) Hashtbl.t; (* async write-behinds per file *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+  mutable writes_averted : int;
+  mutable evictions : int;
+  mutable syncer_started : bool;
+}
+
+let create engine ~name ~capacity_blocks ~block_size backend =
+  if capacity_blocks <= 0 then invalid_arg "Cache.create: capacity must be > 0";
+  {
+    engine;
+    name;
+    capacity = capacity_blocks;
+    block_size;
+    backend;
+    files = Hashtbl.create 64;
+    count = 0;
+    lru_head = None;
+    lru_tail = None;
+    pending = Hashtbl.create 16;
+    hits = 0;
+    misses = 0;
+    writebacks = 0;
+    writes_averted = 0;
+    evictions = 0;
+    syncer_started = false;
+  }
+
+let name t = t.name
+let block_size t = t.block_size
+let capacity_blocks t = t.capacity
+let hits t = t.hits
+let misses t = t.misses
+let writebacks t = t.writebacks
+let writes_averted t = t.writes_averted
+let evictions t = t.evictions
+let resident_blocks t = t.count
+
+(* ---- LRU list ---- *)
+
+let lru_unlink t b =
+  (match b.lru_prev with
+  | Some p -> p.lru_next <- b.lru_next
+  | None -> (
+      (* physical identity: b may not be linked at all *)
+      match t.lru_head with
+      | Some h when h == b -> t.lru_head <- b.lru_next
+      | Some _ | None -> ()));
+  (match b.lru_next with
+  | Some n -> n.lru_prev <- b.lru_prev
+  | None -> (
+      match t.lru_tail with
+      | Some tl when tl == b -> t.lru_tail <- b.lru_prev
+      | Some _ | None -> ()));
+  b.lru_prev <- None;
+  b.lru_next <- None
+
+let lru_append t b =
+  b.lru_prev <- t.lru_tail;
+  b.lru_next <- None;
+  (match t.lru_tail with Some p -> p.lru_next <- Some b | None -> ());
+  t.lru_tail <- Some b;
+  if t.lru_head = None then t.lru_head <- Some b
+
+let touch t b =
+  lru_unlink t b;
+  lru_append t b
+
+(* ---- table ---- *)
+
+let find t ~file ~index =
+  match Hashtbl.find_opt t.files file with
+  | None -> None
+  | Some per_file -> Hashtbl.find_opt per_file index
+
+let table_remove t b =
+  match Hashtbl.find_opt t.files b.bfile with
+  | None -> ()
+  | Some per_file ->
+      if Hashtbl.mem per_file b.bindex then begin
+        Hashtbl.remove per_file b.bindex;
+        if Hashtbl.length per_file = 0 then Hashtbl.remove t.files b.bfile;
+        t.count <- t.count - 1;
+        lru_unlink t b
+      end
+
+let table_insert t b =
+  let per_file =
+    match Hashtbl.find_opt t.files b.bfile with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 16 in
+        Hashtbl.replace t.files b.bfile h;
+        h
+  in
+  Hashtbl.replace per_file b.bindex b;
+  t.count <- t.count + 1;
+  lru_append t b
+
+let blocks_of_file t ~file =
+  match Hashtbl.find_opt t.files file with
+  | None -> []
+  | Some per_file -> Hashtbl.fold (fun _ b acc -> b :: acc) per_file []
+
+(* ---- write-back machinery ---- *)
+
+let wake_write_waiters b =
+  let ws = List.rev b.write_waiters in
+  b.write_waiters <- [];
+  List.iter (fun w -> w ()) ws
+
+let wait_write t b =
+  match b.w with
+  | Writing _ ->
+      Sim.Engine.suspend t.engine (fun resume ->
+          b.write_waiters <- (fun () -> resume ()) :: b.write_waiters)
+  | Clean | Dirty _ -> ()
+
+(* Write the block back if dirty; blocks the caller until the block is
+   clean (or the in-flight write it was waiting on completes). *)
+let rec do_writeback t b =
+  match b.w with
+  | Clean -> ()
+  | Writing _ ->
+      wait_write t b;
+      do_writeback t b
+  | Dirty _ ->
+      let st = Writing { redirtied = None } in
+      b.w <- st;
+      t.writebacks <- t.writebacks + 1;
+      t.backend.write_block ~file:b.bfile ~index:b.bindex ~stamp:b.stamp
+        ~len:b.len;
+      (match st with
+      | Writing r -> (
+          match r.redirtied with
+          | Some since -> b.w <- Dirty since
+          | None -> b.w <- Clean)
+      | Clean | Dirty _ -> assert false);
+      wake_write_waiters b;
+      if b.doomed then table_remove t b
+
+let mark_dirty t b =
+  let now = Sim.Engine.now t.engine in
+  match b.w with
+  | Clean -> b.w <- Dirty now
+  | Dirty _ -> () (* keep original age: Unix tracks oldest modification *)
+  | Writing r -> r.redirtied <- Some now
+
+(* ---- capacity / eviction ---- *)
+
+let evictable b =
+  (not b.doomed) && b.fetching = None
+  && match b.w with Clean | Dirty _ -> true | Writing _ -> false
+
+let rec ensure_capacity t =
+  if t.count >= t.capacity then begin
+    (* scan from LRU end for an evictable block *)
+    let rec scan = function
+      | None -> None
+      | Some b -> if evictable b then Some b else scan b.lru_next
+    in
+    match scan t.lru_head with
+    | Some b ->
+        (match b.w with
+        | Dirty _ -> do_writeback t b (* blocks; may race, rechecked below *)
+        | Clean | Writing _ -> ());
+        (* only evict if it is still present and became clean *)
+        (match find t ~file:b.bfile ~index:b.bindex with
+        | Some b' when b' == b && evictable b && b.w = Clean ->
+            t.evictions <- t.evictions + 1;
+            table_remove t b
+        | _ -> ());
+        ensure_capacity t
+    | None ->
+        (* everything is in flight; wait a moment and retry *)
+        Sim.Engine.sleep t.engine 0.0005;
+        ensure_capacity t
+  end
+
+(* ---- pending async writes ---- *)
+
+let pending_for t file =
+  match Hashtbl.find_opt t.pending file with
+  | Some p -> p
+  | None ->
+      let p = { count = 0; waiters = [] } in
+      Hashtbl.replace t.pending file p;
+      p
+
+let pending_incr t file = (pending_for t file).count <- (pending_for t file).count + 1
+
+let pending_decr t file =
+  let p = pending_for t file in
+  p.count <- p.count - 1;
+  if p.count = 0 then begin
+    let ws = List.rev p.waiters in
+    p.waiters <- [];
+    Hashtbl.remove t.pending file;
+    List.iter (fun w -> w ()) ws
+  end
+
+let wait_pending t ~file =
+  match Hashtbl.find_opt t.pending file with
+  | None -> ()
+  | Some p ->
+      if p.count > 0 then
+        Sim.Engine.suspend t.engine (fun resume ->
+            p.waiters <- (fun () -> resume ()) :: p.waiters)
+
+(* ---- public data path ---- *)
+
+let peek t ~file ~index =
+  match find t ~file ~index with
+  | Some b when b.fetching = None -> Some (b.stamp, b.len)
+  | Some _ | None -> None
+
+let new_block ~file ~index =
+  {
+    bfile = file;
+    bindex = index;
+    stamp = 0;
+    len = 0;
+    fetching = None;
+    w = Clean;
+    doomed = false;
+    write_waiters = [];
+    lru_prev = None;
+    lru_next = None;
+  }
+
+let read t ~file ~index =
+  match find t ~file ~index with
+  | Some b -> (
+      match b.fetching with
+      | Some iv ->
+          t.hits <- t.hits + 1;
+          Sim.Ivar.read iv
+      | None ->
+          t.hits <- t.hits + 1;
+          touch t b;
+          (b.stamp, b.len))
+  | None ->
+      t.misses <- t.misses + 1;
+      ensure_capacity t;
+      (* recheck: someone may have inserted it while we evicted *)
+      (match find t ~file ~index with
+      | Some b -> (
+          match b.fetching with
+          | Some iv -> Sim.Ivar.read iv
+          | None ->
+              touch t b;
+              (b.stamp, b.len))
+      | None ->
+          let b = new_block ~file ~index in
+          let iv = Sim.Ivar.create t.engine in
+          b.fetching <- Some iv;
+          table_insert t b;
+          let stamp, len = t.backend.read_block ~file ~index in
+          (match b.fetching with
+          | Some iv' when iv' == iv ->
+              b.stamp <- stamp;
+              b.len <- len;
+              b.fetching <- None
+          | Some _ | None -> () (* overwritten while fetching *));
+          let result = (b.stamp, b.len) in
+          Sim.Ivar.fill iv result;
+          if b.doomed then table_remove t b;
+          result)
+
+let write t ~file ~index ~stamp ~len mode =
+  if len < 0 || len > t.block_size then
+    invalid_arg (Printf.sprintf "Cache.write: bad length %d" len);
+  let b =
+    match find t ~file ~index with
+    | Some b -> b
+    | None ->
+        ensure_capacity t;
+        (match find t ~file ~index with
+        | Some b -> b
+        | None ->
+            let b = new_block ~file ~index in
+            table_insert t b;
+            b)
+  in
+  b.stamp <- stamp;
+  b.len <- max b.len len;
+  b.fetching <- None;
+  touch t b;
+  mark_dirty t b;
+  match mode with
+  | `Delayed -> ()
+  | `Sync -> do_writeback t b
+  | `Async ->
+      pending_incr t file;
+      Sim.Engine.spawn t.engine ~name:(t.name ^ ".write_behind") (fun () ->
+          do_writeback t b;
+          pending_decr t file)
+
+(* ---- consistency operations ---- *)
+
+let flush_file t ~file =
+  let rec loop () =
+    let dirty =
+      blocks_of_file t ~file
+      |> List.filter (fun b ->
+             match b.w with Dirty _ | Writing _ -> true | Clean -> false)
+      |> List.sort (fun a b -> compare a.bindex b.bindex)
+    in
+    if dirty <> [] then begin
+      List.iter (fun b -> do_writeback t b) dirty;
+      loop () (* a write may have landed while we were flushing *)
+    end
+  in
+  loop ()
+
+let flush_all t =
+  let files = Hashtbl.fold (fun file _ acc -> file :: acc) t.files [] in
+  List.iter (fun file -> flush_file t ~file) (List.sort compare files)
+
+let flush_block t ~file ~index =
+  match find t ~file ~index with
+  | None -> ()
+  | Some b -> do_writeback t b
+
+let drop_block t ~file ~index =
+  match find t ~file ~index with
+  | None -> ()
+  | Some b -> (
+      match (b.w, b.fetching) with
+      | Dirty _, _ ->
+          t.writes_averted <- t.writes_averted + 1;
+          b.w <- Clean;
+          table_remove t b
+      | Writing _, _ -> b.doomed <- true
+      | Clean, None -> table_remove t b
+      | Clean, Some _ -> b.doomed <- true)
+
+let drop_clean t ~file =
+  List.iter
+    (fun b ->
+      match (b.w, b.fetching) with
+      | Clean, None -> table_remove t b
+      | Clean, Some _ -> b.doomed <- true
+      | (Dirty _ | Writing _), _ -> ())
+    (blocks_of_file t ~file)
+
+let block_dirty t ~file ~index =
+  match find t ~file ~index with
+  | None -> false
+  | Some b -> ( match b.w with Dirty _ | Writing _ -> true | Clean -> false)
+
+let dirty_count t ~file =
+  blocks_of_file t ~file
+  |> List.filter (fun b ->
+         match b.w with Dirty _ | Writing _ -> true | Clean -> false)
+  |> List.length
+
+let holds_file t ~file = blocks_of_file t ~file <> []
+
+let invalidate_file t ~file =
+  let blocks = blocks_of_file t ~file in
+  List.iter
+    (fun b ->
+      match (b.w, b.fetching) with
+      | Clean, None -> table_remove t b
+      | Clean, Some _ -> b.doomed <- true
+      | (Dirty _ | Writing _), _ ->
+          invalid_arg "Cache.invalidate_file: file has dirty blocks")
+    blocks
+
+let cancel_dirty t ~file =
+  let blocks = blocks_of_file t ~file in
+  let averted = ref 0 in
+  List.iter
+    (fun b ->
+      match (b.w, b.fetching) with
+      | Dirty _, _ ->
+          incr averted;
+          t.writes_averted <- t.writes_averted + 1;
+          b.w <- Clean;
+          table_remove t b
+      | Writing _, _ -> b.doomed <- true (* in flight; dropped on completion *)
+      | Clean, None -> table_remove t b
+      | Clean, Some _ -> b.doomed <- true)
+    blocks;
+  !averted
+
+(* ---- syncer ---- *)
+
+(* Flush a batch with bounded parallelism, like the pool of biod-style
+   write-back daemons real clients ran; a serial flusher could not keep
+   up with a busy application. *)
+let flush_batch t ?(parallelism = 4) victims =
+  match victims with
+  | [] -> ()
+  | victims ->
+      let pool = Sim.Semaphore.create t.engine parallelism in
+      let wg = Sim.Waitgroup.create t.engine in
+      Sim.Waitgroup.add wg ~n:(List.length victims) ();
+      List.iter
+        (fun b ->
+          Sim.Engine.spawn t.engine ~name:(t.name ^ ".flusher") (fun () ->
+              Sim.Semaphore.with_unit pool (fun () -> do_writeback t b);
+              Sim.Waitgroup.done_ wg))
+        victims;
+      Sim.Waitgroup.wait wg
+
+let start_syncer t ?(min_age = 0.0) ~interval () =
+  if t.syncer_started then invalid_arg "Cache.start_syncer: already started";
+  t.syncer_started <- true;
+  let rec loop () =
+    Sim.Engine.sleep t.engine interval;
+    let now = Sim.Engine.now t.engine in
+    let old_enough b =
+      match b.w with Dirty since -> now -. since >= min_age | Clean | Writing _ -> false
+    in
+    let victims =
+      Hashtbl.fold
+        (fun _ per_file acc ->
+          Hashtbl.fold (fun _ b acc -> if old_enough b then b :: acc else acc)
+            per_file acc)
+        t.files []
+      |> List.sort (fun a b -> compare (a.bfile, a.bindex) (b.bfile, b.bindex))
+    in
+    flush_batch t victims;
+    loop ()
+  in
+  Sim.Engine.spawn t.engine ~name:(t.name ^ ".syncer") loop

@@ -1,0 +1,1 @@
+lib/core/state_table.ml: Format Hashtbl List Option Version

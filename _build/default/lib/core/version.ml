@@ -1,0 +1,6 @@
+type t = int
+
+let valid_for_open ~cached ~latest ~previous ~write =
+  match cached with
+  | None -> false
+  | Some v -> v = latest || (write && v = previous)

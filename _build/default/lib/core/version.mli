@@ -1,0 +1,16 @@
+(** File version numbers (paper Sections 3.1 and 4.3.3).
+
+    The server assigns each file a version number that increases every
+    time the file is opened for writing. The open reply carries both
+    the latest and the previous version number, and the client decides
+    from them whether its cached copy is still valid. *)
+
+type t = int
+
+(** [valid_for_open ~cached ~latest ~previous ~write] implements the
+    client rule of Section 3.1: the cache is valid if it matches the
+    latest version; when opening for write it is also valid if it
+    matches the previous version, because the version change was caused
+    by this very open. [cached = None] (nothing cached) is invalid. *)
+val valid_for_open :
+  cached:t option -> latest:t -> previous:t -> write:bool -> bool

@@ -1,0 +1,1 @@
+lib/diskm/disk.ml: Sim

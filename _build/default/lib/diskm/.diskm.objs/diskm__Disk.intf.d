@@ -1,0 +1,1 @@
+lib/diskm/disk.mli: Sim

@@ -1,0 +1,62 @@
+type params = {
+  positioning : float;
+  transfer_rate : float;
+  per_request_overhead : float;
+}
+
+let ra81 =
+  { positioning = 0.030; transfer_rate = 2.2e6; per_request_overhead = 0.001 }
+
+type t = {
+  name : string;
+  params : params;
+  arm : Sim.Resource.t;
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable next_at : int option; (* address following the last request *)
+}
+
+let create engine ?(params = ra81) name =
+  {
+    name;
+    params;
+    arm = Sim.Resource.create engine ~capacity:1 (name ^ ".arm");
+    reads = 0;
+    writes = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+    next_at = None;
+  }
+
+let name t = t.name
+
+let service_time t ~at bytes =
+  let sequential =
+    match (at, t.next_at) with
+    | Some a, Some expected -> a = expected
+    | _, _ -> false
+  in
+  (t.next_at <- match at with Some a -> Some (a + 1) | None -> None);
+  t.params.per_request_overhead
+  +. (if sequential then 0.0 else t.params.positioning)
+  +. (float_of_int bytes /. t.params.transfer_rate)
+
+let read ?at t ~bytes =
+  if bytes < 0 then invalid_arg "Disk.read: negative size";
+  t.reads <- t.reads + 1;
+  t.bytes_read <- t.bytes_read + bytes;
+  Sim.Resource.use t.arm (service_time t ~at bytes)
+
+let write ?at t ~bytes =
+  if bytes < 0 then invalid_arg "Disk.write: negative size";
+  t.writes <- t.writes + 1;
+  t.bytes_written <- t.bytes_written + bytes;
+  Sim.Resource.use t.arm (service_time t ~at bytes)
+
+let reads t = t.reads
+let writes t = t.writes
+let bytes_read t = t.bytes_read
+let bytes_written t = t.bytes_written
+let busy_time t = Sim.Resource.busy_time t.arm

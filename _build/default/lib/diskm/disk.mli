@@ -1,0 +1,45 @@
+(** Disk model.
+
+    A disk serves requests one at a time in FIFO order (a single arm).
+    Each request costs an average positioning time (seek + rotational
+    latency) plus size-proportional transfer time. The paper's testbed
+    used DEC RA81/RA82 drives; {!ra81} approximates one.
+
+    Calls block the calling simulation process for queueing plus
+    service time. Completed-operation counts and busy time are exposed
+    for the utilization and disk-load analyses (Section 5.2). *)
+
+type params = {
+  positioning : float;  (** average seek + rotational latency, seconds *)
+  transfer_rate : float;  (** bytes per second *)
+  per_request_overhead : float;  (** controller / driver overhead, seconds *)
+}
+
+(** Approximation of a DEC RA81: ~22 ms average seek plus ~8.3 ms
+    average rotational latency, 2.2 MB/s peak transfer. *)
+val ra81 : params
+
+type t
+
+val create : Sim.Engine.t -> ?params:params -> string -> t
+
+val name : t -> string
+
+(** [read t ?at ~bytes] blocks for one read request of [bytes] bytes.
+    [at] is an abstract block address: a request whose address follows
+    directly on the previous request's pays no positioning cost (the
+    head is already there), which is what makes sequential file I/O
+    several times cheaper than scattered I/O. Omitting [at] always
+    pays positioning. *)
+val read : ?at:int -> t -> bytes:int -> unit
+
+(** [write t ?at ~bytes] blocks for one write request. *)
+val write : ?at:int -> t -> bytes:int -> unit
+
+val reads : t -> int
+val writes : t -> int
+val bytes_read : t -> int
+val bytes_written : t -> int
+
+(** Cumulative time the arm was busy. *)
+val busy_time : t -> float

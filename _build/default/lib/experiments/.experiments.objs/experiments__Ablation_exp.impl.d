@@ -1,0 +1,1 @@
+lib/experiments/ablation_exp.ml: Driver Nfs Report Rfs Snfs Stats Testbed Workload

@@ -1,0 +1,1 @@
+lib/experiments/andrew_exp.ml: Driver List Monitor Nfs Printf Report Sim Snfs Stats Testbed Workload

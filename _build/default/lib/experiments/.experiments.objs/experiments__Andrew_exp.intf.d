@@ -1,0 +1,1 @@
+lib/experiments/andrew_exp.mli: Stats Testbed Workload

@@ -1,0 +1,1 @@
+lib/experiments/monitor.ml: List Netsim Nfs Sim Stats

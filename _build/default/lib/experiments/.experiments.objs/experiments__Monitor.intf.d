@@ -1,0 +1,1 @@
+lib/experiments/monitor.mli: Netsim Sim Stats

@@ -1,0 +1,1 @@
+lib/experiments/scaling_exp.ml: Array Diskm Driver Float Kentfs List Localfs Netsim Nfs Printf Report Rfs Sim Snfs Stats Testbed Vfs Workload

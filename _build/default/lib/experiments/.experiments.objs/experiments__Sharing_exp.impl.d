@@ -1,0 +1,1 @@
+lib/experiments/sharing_exp.ml: Array Diskm Driver Int64 Kentfs List Localfs Netsim Nfs Printf Report Rfs Sim Snfs Stats Sys Vfs Workload

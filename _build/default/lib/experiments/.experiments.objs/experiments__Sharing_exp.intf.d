@@ -1,0 +1,1 @@
+lib/experiments/sharing_exp.mli: Localfs Netsim Sim Vfs

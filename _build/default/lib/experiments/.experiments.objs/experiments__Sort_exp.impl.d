@@ -1,0 +1,1 @@
+lib/experiments/sort_exp.ml: Diskm Driver List Netsim Nfs Printf Report Sim Snfs Stats Sys Testbed Workload

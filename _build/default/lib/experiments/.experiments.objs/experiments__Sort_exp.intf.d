@@ -1,0 +1,1 @@
+lib/experiments/sort_exp.mli: Stats Testbed

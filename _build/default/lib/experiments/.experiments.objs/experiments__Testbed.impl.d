@@ -1,0 +1,1 @@
+lib/experiments/testbed.ml: Blockcache Diskm Kentfs List Localfs Netsim Nfs Option Rfs Sim Snfs Stats Vfs Workload

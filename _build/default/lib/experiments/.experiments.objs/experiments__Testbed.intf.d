@@ -1,0 +1,1 @@
+lib/experiments/testbed.mli: Blockcache Diskm Kentfs Netsim Nfs Rfs Sim Snfs Stats Workload

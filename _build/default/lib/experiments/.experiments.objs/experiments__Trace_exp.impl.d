@@ -1,0 +1,1 @@
+lib/experiments/trace_exp.ml: Driver List Nfs Printf Report Rfs Snfs Stats Testbed Workload

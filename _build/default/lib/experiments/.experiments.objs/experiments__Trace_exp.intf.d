@@ -1,0 +1,1 @@
+lib/experiments/trace_exp.mli:

@@ -1,0 +1,17 @@
+(** Ablations of the design choices DESIGN.md calls out, each measured
+    on the Andrew benchmark with everything remote:
+
+    - the Ultrix NFS client's invalidate-on-close bug (Section 5.2):
+      on vs off;
+    - SNFS delayed close (Section 6.2): on vs off;
+    - a directory-name lookup cache (Section 5.2 footnote 6: "any
+      mechanism that reduced the number of lookups would improve
+      performance"): on vs off, for both protocols;
+    - the RFS design point (Section 2.5) between them. *)
+
+val table : unit -> string
+
+(** The write-back-policy ablation (Section 4.2.3): on the 2816 kB
+    sort under SNFS, compare Unix flush-everything sync, Sprite's
+    30-second-age policy, and no write-back daemon at all. *)
+val write_back_policy_table : unit -> string

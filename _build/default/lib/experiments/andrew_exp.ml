@@ -1,0 +1,229 @@
+type variant = {
+  label : string;
+  protocol : Testbed.protocol;
+  tmp : Testbed.tmp_placement;
+}
+
+let paper_variants () =
+  [
+    { label = "local"; protocol = Testbed.Local; tmp = Testbed.Tmp_local };
+    {
+      label = "NFS /tmp local";
+      protocol = Testbed.Nfs_proto Nfs.Nfs_client.default_config;
+      tmp = Testbed.Tmp_local;
+    };
+    {
+      label = "SNFS /tmp local";
+      protocol = Testbed.Snfs_proto Snfs.Snfs_client.default_config;
+      tmp = Testbed.Tmp_local;
+    };
+    {
+      label = "NFS /tmp remote";
+      protocol = Testbed.Nfs_proto Nfs.Nfs_client.default_config;
+      tmp = Testbed.Tmp_remote;
+    };
+    {
+      label = "SNFS /tmp remote";
+      protocol = Testbed.Snfs_proto Snfs.Snfs_client.default_config;
+      tmp = Testbed.Tmp_remote;
+    };
+  ]
+
+type run_result = {
+  variant : variant;
+  phases : Workload.Andrew.phase_times;
+  counts : Stats.Counter.t;
+}
+
+let run_variant ?(andrew = Workload.Andrew.default_config) variant =
+  Driver.run (fun engine ->
+      let tb =
+        Testbed.create engine ~protocol:variant.protocol ~tmp:variant.tmp ()
+      in
+      let ctx = Testbed.ctx tb in
+      let tree = Workload.Andrew.setup ctx andrew in
+      (* quiesce: let the setup's delayed writes reach the server before
+         the timed run, as the paper's repeated-trial methodology did *)
+      Testbed.drain tb ~horizon:65.0;
+      (* count only RPCs issued during the timed benchmark *)
+      let before = Testbed.rpc_counts tb in
+      let phases = Workload.Andrew.run ctx andrew tree in
+      let counts = Stats.Counter.diff (Testbed.rpc_counts tb) before in
+      { variant; phases; counts })
+
+(* ---- Table 5-1 ---- *)
+
+let table_5_1 () =
+  let results = List.map (fun v -> run_variant v) (paper_variants ()) in
+  let row r =
+    let p = r.phases in
+    [
+      r.variant.label;
+      Report.secs p.Workload.Andrew.makedir;
+      Report.secs p.Workload.Andrew.copy;
+      Report.secs p.Workload.Andrew.scandir;
+      Report.secs p.Workload.Andrew.readall;
+      Report.secs p.Workload.Andrew.make;
+      Report.secs (Workload.Andrew.total p);
+    ]
+  in
+  let find label =
+    List.find (fun r -> r.variant.label = label) results
+  in
+  let t l = Workload.Andrew.total (find l).phases in
+  let ratio a b = (t a -. t b) /. t a in
+  let phase_ratio phase a b =
+    let pa = phase (find a).phases and pb = phase (find b).phases in
+    (pa -. pb) /. pa
+  in
+  Report.banner "Table 5-1: Andrew benchmark, elapsed seconds per phase"
+  ^ "\n"
+  ^ Report.table
+      ~header:[ "configuration"; "MakeDir"; "Copy"; "ScanDir"; "ReadAll"; "Make"; "Total" ]
+      (List.map row results)
+  ^ Printf.sprintf
+      "\n\
+       shape checks against the paper (Section 5.2):\n\
+      \  SNFS vs NFS, Copy      (/tmp remote): %s faster  (paper: ~25%%)\n\
+      \  SNFS vs NFS, Make      (/tmp local):  %s faster  (paper: ~20%%)\n\
+      \  SNFS vs NFS, Make      (/tmp remote): %s faster  (paper: ~30%%)\n\
+      \  NFS  vs SNFS, ScanDir+ReadAll:        %s faster  (paper: ~5%%)\n\
+      \  SNFS vs NFS, Total     (/tmp remote): %s faster  (paper: 15-20%%)\n"
+      (Report.pct (phase_ratio (fun p -> p.Workload.Andrew.copy) "NFS /tmp remote" "SNFS /tmp remote"))
+      (Report.pct (phase_ratio (fun p -> p.Workload.Andrew.make) "NFS /tmp local" "SNFS /tmp local"))
+      (Report.pct (phase_ratio (fun p -> p.Workload.Andrew.make) "NFS /tmp remote" "SNFS /tmp remote"))
+      (Report.pct
+         (phase_ratio
+            (fun p -> p.Workload.Andrew.scandir +. p.Workload.Andrew.readall)
+            "SNFS /tmp remote" "NFS /tmp remote"))
+      (Report.pct (ratio "NFS /tmp remote" "SNFS /tmp remote"))
+
+(* ---- Table 5-2 ---- *)
+
+let count_rows = [
+    ("lookup", Nfs.Wire.p_lookup);
+    ("getattr", Nfs.Wire.p_getattr);
+    ("setattr", Nfs.Wire.p_setattr);
+    ("read", Nfs.Wire.p_read);
+    ("write", Nfs.Wire.p_write);
+    ("create", Nfs.Wire.p_create);
+    ("remove", Nfs.Wire.p_remove);
+    ("open", Nfs.Wire.p_open);
+    ("close", Nfs.Wire.p_close);
+    ("callback", Nfs.Wire.p_callback);
+  ]
+
+let rpc_table results =
+  let labels = List.map (fun r -> r.variant.label) results in
+  let rows =
+    List.map
+      (fun (name, proc) ->
+        name
+        :: List.map (fun r -> string_of_int (Stats.Counter.get r.counts proc))
+             results)
+      count_rows
+    @ [
+        "other RPCs"
+        :: List.map
+             (fun r ->
+               let named =
+                 Stats.Counter.total_of r.counts (List.map snd count_rows)
+               in
+               string_of_int (Stats.Counter.total r.counts - named))
+             results;
+        "data transfer ops"
+        :: List.map
+             (fun r ->
+               string_of_int
+                 (Stats.Counter.total_of r.counts Nfs.Wire.data_procs))
+             results;
+        "Total"
+        :: List.map (fun r -> string_of_int (Stats.Counter.total r.counts))
+             results;
+      ]
+  in
+  Report.table ~header:("operation" :: labels) rows
+
+let table_5_2 () =
+  let remote = List.filter (fun v -> v.protocol <> Testbed.Local) (paper_variants ()) in
+  let results = List.map (fun v -> run_variant v) remote in
+  let total label =
+    let r = List.find (fun r -> r.variant.label = label) results in
+    float_of_int (Stats.Counter.total r.counts)
+  in
+  let data label =
+    let r = List.find (fun r -> r.variant.label = label) results in
+    float_of_int (Stats.Counter.total_of r.counts Nfs.Wire.data_procs)
+  in
+  Report.banner "Table 5-2: RPC calls during the Andrew benchmark"
+  ^ "\n" ^ rpc_table results
+  ^ Printf.sprintf
+      "\n\
+       shape checks against the paper (Section 5.2):\n\
+      \  SNFS total ops vs NFS (/tmp local):  %s   (paper: ~+2%%)\n\
+      \  SNFS total ops vs NFS (/tmp remote): %s   (paper: ~-6%%)\n\
+      \  SNFS data ops  vs NFS (/tmp remote): %s   (paper: ~-42%%)\n"
+      (Report.pct
+         ((total "SNFS /tmp local" -. total "NFS /tmp local")
+         /. total "NFS /tmp local"))
+      (Report.pct
+         ((total "SNFS /tmp remote" -. total "NFS /tmp remote")
+         /. total "NFS /tmp remote"))
+      (Report.pct
+         ((data "SNFS /tmp remote" -. data "NFS /tmp remote")
+         /. data "NFS /tmp remote"))
+
+(* ---- Figures 5-1 / 5-2 ---- *)
+
+let figure ~title variant =
+  Driver.run (fun engine ->
+      let tb =
+        Testbed.create engine ~protocol:variant.protocol ~tmp:variant.tmp ()
+      in
+      let ctx = Testbed.ctx tb in
+      let andrew = Workload.Andrew.default_config in
+      let tree = Workload.Andrew.setup ctx andrew in
+      Testbed.drain tb ~horizon:65.0;
+      let service =
+        match Testbed.service tb with
+        | Some s -> s
+        | None -> invalid_arg "figure: needs a remote protocol"
+      in
+      let t0 = Sim.Engine.now engine in
+      let mon =
+        Monitor.attach engine ~host:(Testbed.server_host tb) ~service ~bin:20.0
+      in
+      let _phases = Workload.Andrew.run ctx andrew tree in
+      let until = Sim.Engine.now engine -. t0 in
+      let rows = Monitor.rows mon ~until in
+      let util_line =
+        Stats.Table.sparkline (List.map (fun r -> List.nth r 1) rows)
+      in
+      let calls_line =
+        Stats.Table.sparkline (List.map (fun r -> List.nth r 2) rows)
+      in
+      Report.banner title ^ "\n"
+      ^ Stats.Table.render_series
+          ~columns:[ "t(s)"; "cpu util"; "calls/s"; "reads/s"; "writes/s" ]
+          rows
+      ^ Printf.sprintf "\nutilization: |%s|\ncall rate:   |%s|\n" util_line
+          calls_line)
+
+let figures_5_1_and_5_2 () =
+  let nfs =
+    {
+      label = "NFS /tmp remote";
+      protocol = Testbed.Nfs_proto Nfs.Nfs_client.default_config;
+      tmp = Testbed.Tmp_remote;
+    }
+  in
+  let snfs =
+    {
+      label = "SNFS /tmp remote";
+      protocol = Testbed.Snfs_proto Snfs.Snfs_client.default_config;
+      tmp = Testbed.Tmp_remote;
+    }
+  in
+  figure ~title:"Figure 5-1: server utilization and call rates, NFS" nfs
+  ^ "\n"
+  ^ figure ~title:"Figure 5-2: server utilization and call rates, SNFS" snfs

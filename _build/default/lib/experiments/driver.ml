@@ -1,0 +1,10 @@
+let run f =
+  let engine = Sim.Engine.create () in
+  let result = ref None in
+  Sim.Engine.spawn engine ~name:"experiment" (fun () ->
+      result := Some (f engine);
+      Sim.Engine.stop engine);
+  Sim.Engine.run engine;
+  match !result with
+  | Some v -> v
+  | None -> failwith "Driver.run: experiment did not complete"

@@ -1,0 +1,8 @@
+(** Runs one experiment in a fresh simulation.
+
+    [run f] creates an engine, executes [f] as the initial simulation
+    process (so it may block on I/O), stops the engine when [f]
+    returns (background daemons would otherwise keep it alive forever),
+    and returns [f]'s result. *)
+
+val run : (Sim.Engine.t -> 'a) -> 'a

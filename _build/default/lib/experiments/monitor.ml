@@ -1,0 +1,48 @@
+type t = {
+  util : Stats.Timeseries.t;
+  calls : Stats.Timeseries.t;
+  reads : Stats.Timeseries.t;
+  writes : Stats.Timeseries.t;
+}
+
+let attach engine ~host ~service ~bin =
+  let t =
+    {
+      util = Stats.Timeseries.create ~bin "cpu-util";
+      calls = Stats.Timeseries.create ~bin "calls";
+      reads = Stats.Timeseries.create ~bin "reads";
+      writes = Stats.Timeseries.create ~bin "writes";
+    }
+  in
+  (* all series are relative to the attach instant *)
+  let t0 = Sim.Engine.now engine in
+  Netsim.Rpc.set_observer service (fun ~proc ->
+      let time = Sim.Engine.now engine -. t0 in
+      Stats.Timeseries.add t.calls ~time 1.0;
+      if proc = Nfs.Wire.p_read then Stats.Timeseries.add t.reads ~time 1.0;
+      if proc = Nfs.Wire.p_write then Stats.Timeseries.add t.writes ~time 1.0);
+  let cpu = Netsim.Net.Host.cpu host in
+  let rec sample last_busy () =
+    Sim.Engine.sleep engine bin;
+    let busy = Sim.Resource.busy_time cpu in
+    (* attribute the whole bin's busy delta to the bin that just ended *)
+    Stats.Timeseries.add t.util
+      ~time:(Sim.Engine.now engine -. t0 -. (bin /. 2.0))
+      (busy -. last_busy);
+    sample busy ()
+  in
+  Sim.Engine.spawn engine ~name:"monitor.sampler"
+    (sample (Sim.Resource.busy_time cpu));
+  t
+
+let rows t ~until =
+  let bin = Stats.Timeseries.bin_width t.util in
+  let nbins = int_of_float (ceil (until /. bin)) in
+  List.init nbins (fun i ->
+      [
+        float_of_int i *. bin;
+        Stats.Timeseries.value t.util i /. bin;
+        Stats.Timeseries.rate t.calls i;
+        Stats.Timeseries.rate t.reads i;
+        Stats.Timeseries.rate t.writes i;
+      ])

@@ -1,0 +1,20 @@
+(** Server-utilization and call-rate monitoring for Figures 5-1/5-2.
+
+    Attaches an observer to the RPC service (counting total, read and
+    write calls per time bin) and a sampler process that accumulates
+    the server CPU's busy time per bin. *)
+
+type t = {
+  util : Stats.Timeseries.t;  (** busy seconds per bin *)
+  calls : Stats.Timeseries.t;
+  reads : Stats.Timeseries.t;
+  writes : Stats.Timeseries.t;
+}
+
+val attach :
+  Sim.Engine.t -> host:Netsim.Net.Host.t -> service:Netsim.Rpc.service ->
+  bin:float -> t
+
+(** Rows of (time, cpu-util-fraction, calls/s, reads/s, writes/s) up to
+    [until]. *)
+val rows : t -> until:float -> float list list

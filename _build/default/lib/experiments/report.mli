@@ -1,0 +1,18 @@
+(** Report formatting helpers shared by the bench harness and CLI. *)
+
+(** A section banner. *)
+val banner : string -> string
+
+(** Seconds with sensible precision. *)
+val secs : float -> string
+
+val pct : float -> string
+
+(** "measured (paper: reference)" cell. *)
+val vs : measured:string -> paper:string -> string
+
+val table :
+  ?aligns:Stats.Table.align list ->
+  header:string list ->
+  string list list ->
+  string

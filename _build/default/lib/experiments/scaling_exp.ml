@@ -1,0 +1,160 @@
+type point = {
+  clients : int;
+  avg_elapsed : float;
+  max_elapsed : float;
+  server_cpu_util : float;
+  server_disk_util : float;
+  total_rpcs : int;
+}
+
+(* one client's workload: an edit/compile loop over private files *)
+let client_loop ctx ~home ~iterations =
+  let m = ctx.Workload.App.mounts in
+  Vfs.Fileio.mkdir m home;
+  for i = 1 to 3 do
+    Vfs.Fileio.write_file m (Printf.sprintf "%s/src%d.c" home i) ~bytes:6_000
+  done;
+  for it = 1 to iterations do
+    (* edit: read the sources, rewrite one *)
+    for i = 1 to 3 do
+      ignore (Vfs.Fileio.read_file m (Printf.sprintf "%s/src%d.c" home i))
+    done;
+    Workload.App.think ctx 0.5;
+    Vfs.Fileio.write_file m
+      (Printf.sprintf "%s/src%d.c" home ((it mod 3) + 1))
+      ~bytes:6_000;
+    (* compile: temp file staged and deleted, object emitted *)
+    Workload.App.think ctx 2.0;
+    let temp = Printf.sprintf "%s/ctm.tmp" home in
+    Vfs.Fileio.write_file m temp ~bytes:40_000;
+    ignore (Vfs.Fileio.read_file m temp);
+    Vfs.Fileio.unlink m temp;
+    Vfs.Fileio.write_file m (Printf.sprintf "%s/prog%d.o" home it) ~bytes:20_000
+  done
+
+let run ~protocol ~clients ?(iterations = 8) () =
+  Driver.run (fun engine ->
+      let net = Netsim.Net.create engine () in
+      let rpc = Netsim.Rpc.create net () in
+      let server_host = Netsim.Net.Host.create net "server" in
+      let server_disk = Diskm.Disk.create engine "server-disk" in
+      let server_fs =
+        Localfs.create engine ~name:"serverfs" ~disk:server_disk
+          ~cache_blocks:896 ~meta_policy:`Sync ()
+      in
+      let make_client =
+        match protocol with
+        | Testbed.Local -> invalid_arg "Scaling_exp.run: needs a remote protocol"
+        | Testbed.Nfs_proto config ->
+            let server = Nfs.Nfs_server.serve rpc server_host ~fsid:1 server_fs in
+            fun host name ->
+              let c =
+                Nfs.Nfs_client.mount rpc ~client:host ~server:server_host
+                  ~root:(Nfs.Nfs_server.root_fh server) ~config ~name ()
+              in
+              (Nfs.Nfs_client.fs c, Nfs.Nfs_client.cache c,
+               Netsim.Rpc.counters (Nfs.Nfs_server.service server))
+        | Testbed.Snfs_proto config ->
+            let server =
+              Snfs.Snfs_server.serve rpc server_host ~fsid:1 server_fs
+            in
+            fun host name ->
+              let c =
+                Snfs.Snfs_client.mount rpc ~client:host ~server:server_host
+                  ~root:(Snfs.Snfs_server.root_fh server) ~config ~name ()
+              in
+              Snfs.Snfs_client.start_syncer c ~interval:30.0;
+              (Snfs.Snfs_client.fs c, Snfs.Snfs_client.cache c,
+               Netsim.Rpc.counters (Snfs.Snfs_server.service server))
+        | Testbed.Rfs_proto config ->
+            let server = Rfs.Rfs_server.serve rpc server_host ~fsid:1 server_fs in
+            fun host name ->
+              let c =
+                Rfs.Rfs_client.mount rpc ~client:host ~server:server_host
+                  ~root:(Rfs.Rfs_server.root_fh server) ~config ~name ()
+              in
+              (Rfs.Rfs_client.fs c, Rfs.Rfs_client.cache c,
+               Netsim.Rpc.counters (Rfs.Rfs_server.service server))
+        | Testbed.Kent_proto config ->
+            let server =
+              Kentfs.Kent_server.serve rpc server_host ~fsid:1 server_fs
+            in
+            fun host name ->
+              let c =
+                Kentfs.Kent_client.mount rpc ~client:host ~server:server_host
+                  ~root:(Kentfs.Kent_server.root_fh server) ~config ~name ()
+              in
+              Kentfs.Kent_client.start_syncer c ~interval:30.0;
+              (Kentfs.Kent_client.fs c, Kentfs.Kent_client.cache c,
+               Netsim.Rpc.counters (Kentfs.Kent_server.service server))
+      in
+      let counters = ref None in
+      let contexts =
+        List.init clients (fun i ->
+            let name = Printf.sprintf "client%d" i in
+            let host = Netsim.Net.Host.create net name in
+            let fs, _cache, counts = make_client host name in
+            counters := Some counts;
+            let mounts = Vfs.Mount.create () in
+            Vfs.Mount.mount mounts ~at:"/" fs;
+            Workload.App.make ~mounts ~host)
+      in
+      let t0 = Sim.Engine.now engine in
+      let elapsed = Array.make clients 0.0 in
+      let wg = Sim.Waitgroup.create engine in
+      Sim.Waitgroup.add wg ~n:clients ();
+      List.iteri
+        (fun i ctx ->
+          Sim.Engine.spawn engine ~name:(Printf.sprintf "load%d" i) (fun () ->
+              client_loop ctx ~home:(Printf.sprintf "/home%d" i) ~iterations;
+              elapsed.(i) <- Sim.Engine.now engine -. t0;
+              Sim.Waitgroup.done_ wg))
+        contexts;
+      Sim.Waitgroup.wait wg;
+      let wall = Sim.Engine.now engine -. t0 in
+      let sum = Array.fold_left ( +. ) 0.0 elapsed in
+      {
+        clients;
+        avg_elapsed = sum /. float_of_int clients;
+        max_elapsed = Array.fold_left Float.max 0.0 elapsed;
+        server_cpu_util =
+          Sim.Resource.busy_time (Netsim.Net.Host.cpu server_host) /. wall;
+        server_disk_util = Diskm.Disk.busy_time server_disk /. wall;
+        total_rpcs =
+          (match !counters with
+          | Some c -> Stats.Counter.total c
+          | None -> 0);
+      })
+
+let table () =
+  let counts = [ 1; 2; 4; 8; 16 ] in
+  let row protocol label n =
+    let p = run ~protocol ~clients:n () in
+    [
+      label;
+      string_of_int n;
+      Report.secs p.avg_elapsed;
+      Report.secs p.max_elapsed;
+      Printf.sprintf "%.0f%%" (100.0 *. p.server_cpu_util);
+      Printf.sprintf "%.0f%%" (100.0 *. p.server_disk_util);
+      string_of_int p.total_rpcs;
+    ]
+  in
+  let rows =
+    List.map (row (Testbed.Nfs_proto Nfs.Nfs_client.default_config) "NFS") counts
+    @ List.map
+        (row (Testbed.Snfs_proto Snfs.Snfs_client.default_config) "SNFS")
+        counts
+  in
+  Report.banner
+    "Scaling (extension): one server, N clients running edit/compile loops"
+  ^ "\n"
+  ^ Report.table
+      ~header:
+        [ "protocol"; "clients"; "avg time"; "max time"; "srv CPU"; "srv disk";
+          "RPCs" ]
+      rows
+  ^ "the paper's argument (Section 2.3): with delayed write-back the\n\
+     server does less work per client, so response time degrades more\n\
+     slowly as clients are added — Sprite reportedly sustained ~4x the\n\
+     clients of NFS on the same hardware.\n"

@@ -1,0 +1,165 @@
+type protocol =
+  | Local
+  | Nfs_proto of Nfs.Nfs_client.config
+  | Snfs_proto of Snfs.Snfs_client.config
+  | Rfs_proto of Rfs.Rfs_client.config
+  | Kent_proto of Kentfs.Kent_client.config
+
+let protocol_name = function
+  | Local -> "local"
+  | Nfs_proto _ -> "NFS"
+  | Snfs_proto _ -> "SNFS"
+  | Rfs_proto _ -> "RFS"
+  | Kent_proto _ -> "Kent"
+
+type tmp_placement = Tmp_local | Tmp_remote
+
+type t = {
+  engine : Sim.Engine.t;
+  client_host : Netsim.Net.Host.t;
+  server_host : Netsim.Net.Host.t;
+  server_disk : Diskm.Disk.t;
+  client_disk : Diskm.Disk.t;
+  service : Netsim.Rpc.service option;
+  protocol_cache : Blockcache.Cache.t option;
+  ctx : Workload.App.t;
+}
+
+let fsid = 7
+
+let create engine ~protocol ~tmp ?(update_interval = Some 30.0)
+    ?(server_cache_blocks = 896) ?(client_cache_blocks = 4096)
+    ?(name_cache = false) ?(write_back_policy = `Unix) () =
+  let net = Netsim.Net.create engine () in
+  let rpc = Netsim.Rpc.create net () in
+  let server_host = Netsim.Net.Host.create net "server" in
+  let client_host = Netsim.Net.Host.create net "client" in
+  let server_disk = Diskm.Disk.create engine "server-disk" in
+  let server_fs =
+    Localfs.create engine ~name:"serverfs" ~disk:server_disk
+      ~cache_blocks:server_cache_blocks ~meta_policy:`Sync ()
+  in
+  let client_disk = Diskm.Disk.create engine "client-disk" in
+  (* traditional Unix: data writes delayed, structural writes
+     synchronous — that is why even the fully-local sort still writes
+     metadata in Table 5-5 *)
+  let client_fs =
+    Localfs.create engine ~name:"clientfs" ~disk:client_disk
+      ~cache_blocks:client_cache_blocks ~meta_policy:`Sync ()
+  in
+  let local_fs = Vfs.Local_mount.make client_fs in
+  let mounts = Vfs.Mount.create () in
+  let remote_fs_and_stats =
+    match protocol with
+    | Local -> None
+    | Nfs_proto config ->
+        let server = Nfs.Nfs_server.serve rpc server_host ~fsid server_fs in
+        let client =
+          Nfs.Nfs_client.mount rpc ~client:client_host ~server:server_host
+            ~root:(Nfs.Nfs_server.root_fh server)
+            ~config:{ config with cache_blocks = client_cache_blocks }
+            ()
+        in
+        Some
+          ( Nfs.Nfs_client.fs client,
+            Nfs.Nfs_server.service server,
+            Nfs.Nfs_client.cache client )
+    | Snfs_proto config ->
+        let server = Snfs.Snfs_server.serve rpc server_host ~fsid server_fs in
+        let client =
+          Snfs.Snfs_client.mount rpc ~client:client_host ~server:server_host
+            ~root:(Snfs.Snfs_server.root_fh server)
+            ~config:{ config with cache_blocks = client_cache_blocks }
+            ()
+        in
+        Some
+          ( Snfs.Snfs_client.fs client,
+            Snfs.Snfs_server.service server,
+            Snfs.Snfs_client.cache client )
+    | Rfs_proto config ->
+        let server = Rfs.Rfs_server.serve rpc server_host ~fsid server_fs in
+        let client =
+          Rfs.Rfs_client.mount rpc ~client:client_host ~server:server_host
+            ~root:(Rfs.Rfs_server.root_fh server)
+            ~config:{ config with cache_blocks = client_cache_blocks }
+            ()
+        in
+        Some
+          ( Rfs.Rfs_client.fs client,
+            Rfs.Rfs_server.service server,
+            Rfs.Rfs_client.cache client )
+    | Kent_proto config ->
+        let server = Kentfs.Kent_server.serve rpc server_host ~fsid server_fs in
+        let client =
+          Kentfs.Kent_client.mount rpc ~client:client_host ~server:server_host
+            ~root:(Kentfs.Kent_server.root_fh server)
+            ~config:{ config with cache_blocks = client_cache_blocks }
+            ()
+        in
+        Some
+          ( Kentfs.Kent_client.fs client,
+            Kentfs.Kent_server.service server,
+            Kentfs.Kent_client.cache client )
+  in
+  (* mount layout *)
+  (match (remote_fs_and_stats, tmp) with
+  | None, _ -> Vfs.Mount.mount mounts ~at:"/" local_fs
+  | Some (remote, _, _), Tmp_remote ->
+      Vfs.Mount.mount mounts ~at:"/" remote;
+      Vfs.Mount.mount mounts ~at:"/local" local_fs
+  | Some (remote, _, _), Tmp_local ->
+      Vfs.Mount.mount mounts ~at:"/data" remote;
+      Vfs.Mount.mount mounts ~at:"/" local_fs);
+  if name_cache then Vfs.Mount.enable_name_cache mounts;
+  let service = Option.map (fun (_, s, _) -> s) remote_fs_and_stats in
+  let protocol_cache = Option.map (fun (_, _, c) -> c) remote_fs_and_stats in
+  let ctx = Workload.App.make ~mounts ~host:client_host in
+  (* create the standard directories (runs in the caller's process) *)
+  let ensure path =
+    if not (Vfs.Fileio.exists mounts path) then Vfs.Fileio.mkdir mounts path
+  in
+  (match (remote_fs_and_stats, tmp) with
+  | None, _ -> List.iter ensure [ "/data"; "/tmp"; "/usr_tmp"; "/local" ]
+  | Some _, Tmp_remote -> List.iter ensure [ "/data"; "/tmp"; "/usr_tmp" ]
+  | Some _, Tmp_local ->
+      (* /data is the remote mount root itself *)
+      List.iter ensure [ "/tmp"; "/usr_tmp"; "/local" ]);
+  (* background write-back daemons *)
+  (match update_interval with
+  | None -> ()
+  | Some interval ->
+      let min_age =
+        match write_back_policy with `Unix -> None | `Sprite age -> Some age
+      in
+      Localfs.start_syncer client_fs ?min_age ~interval ();
+      (match protocol_cache with
+      | Some cache -> Blockcache.Cache.start_syncer cache ?min_age ~interval ()
+      | None -> ()));
+  {
+    engine;
+    client_host;
+    server_host;
+    server_disk;
+    client_disk;
+    service;
+    protocol_cache;
+    ctx;
+  }
+
+let ctx t = t.ctx
+let engine t = t.engine
+let client_disk t = t.client_disk
+let client_host t = t.client_host
+let server_host t = t.server_host
+let server_disk t = t.server_disk
+let service t = t.service
+
+let rpc_counts t =
+  match t.service with
+  | Some svc -> Stats.Counter.snapshot (Netsim.Rpc.counters svc)
+  | None -> Stats.Counter.create ()
+
+let protocol_cache t = t.protocol_cache
+
+let drain t ~horizon =
+  Sim.Engine.sleep t.engine horizon

@@ -1,0 +1,68 @@
+(** Experiment testbed: one client and one server wired the way the
+    paper's Titans were (Section 5.2).
+
+    - server: RA81-class disk, 3.5 MB buffer cache, synchronous
+      metadata (it serves NFS);
+    - client: its own local disk and file system (with the traditional
+      synchronous-metadata Unix behaviour), a 16 MB protocol cache, and
+      the 30-second [/etc/update] daemon unless disabled;
+    - network: 10 Mb/s shared medium.
+
+    The mount layout puts the file system under test at [/data] (and
+    [/tmp], [/usr_tmp] when they are remote), and the client's
+    always-local disk at [/local] (sort input/output live there). *)
+
+type protocol =
+  | Local
+  | Nfs_proto of Nfs.Nfs_client.config
+  | Snfs_proto of Snfs.Snfs_client.config
+  | Rfs_proto of Rfs.Rfs_client.config
+  | Kent_proto of Kentfs.Kent_client.config
+
+val protocol_name : protocol -> string
+
+(** Where /tmp and /usr_tmp live. *)
+type tmp_placement = Tmp_local | Tmp_remote
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  protocol:protocol ->
+  tmp:tmp_placement ->
+  ?update_interval:float option ->
+  (* Some s = /etc/update period; None = infinite write-delay *)
+  ?server_cache_blocks:int ->
+  ?client_cache_blocks:int ->
+  ?name_cache:bool ->
+  (* directory-name lookup cache ablation (Section 5.2 footnote 6);
+     off by default, as in the measured systems *)
+  ?write_back_policy:[ `Unix | `Sprite of float ] ->
+  (* `Unix (default): the syncer flushes every dirty block, as
+     /etc/update's sync() does; `Sprite age: only blocks that have
+     been dirty at least [age] seconds are written (Section 4.2.3) *)
+  unit ->
+  t
+
+(** Application context (mounts + client host) for workloads. *)
+val ctx : t -> Workload.App.t
+
+val engine : t -> Sim.Engine.t
+val client_host : t -> Netsim.Net.Host.t
+val server_host : t -> Netsim.Net.Host.t
+val server_disk : t -> Diskm.Disk.t
+val client_disk : t -> Diskm.Disk.t
+
+(** RPC service of the protocol under test ([None] for Local). *)
+val service : t -> Netsim.Rpc.service option
+
+(** Snapshot of the server-side per-procedure call counts (empty
+    counter for Local). *)
+val rpc_counts : t -> Stats.Counter.t
+
+(** The client's protocol block cache ([None] for Local). *)
+val protocol_cache : t -> Blockcache.Cache.t option
+
+(** Let in-flight background work (write-behinds) settle without
+    advancing past [horizon] virtual seconds. *)
+val drain : t -> horizon:float -> unit

@@ -1,0 +1,7 @@
+(** Trace-driven experiment (extension): a realistic operation mix
+    (whole-file reads dominating, popularity skew, short-lived
+    temporaries) replayed under each protocol, reporting per-class
+    latency percentiles. The means the paper reports hide the tail;
+    here write-through's p99 is the telling number. *)
+
+val table : unit -> string

@@ -1,0 +1,1 @@
+lib/kentfs/kent_client.ml: Blockcache Hashtbl Kent_server Lazy Localfs Netsim Nfs Printf Sim Sys Vfs Xdr

@@ -1,0 +1,1 @@
+lib/kentfs/kent_client.mli: Blockcache Netsim Nfs Vfs

@@ -1,0 +1,1 @@
+lib/kentfs/kent_server.ml: Hashtbl Lazy List Localfs Netsim Nfs Printf Sim String Sys Xdr

@@ -1,0 +1,1 @@
+lib/kentfs/kent_server.mli: Localfs Netsim Nfs Stats

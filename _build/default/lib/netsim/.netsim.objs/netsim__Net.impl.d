@@ -1,0 +1,1 @@
+lib/netsim/net.ml: List Printf Sim

@@ -1,0 +1,1 @@
+lib/netsim/rpc.ml: Bytes Hashtbl Net Sim Stats Xdr

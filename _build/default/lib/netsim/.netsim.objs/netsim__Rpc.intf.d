@@ -1,0 +1,1 @@
+lib/netsim/rpc.mli: Net Sim Stats Xdr

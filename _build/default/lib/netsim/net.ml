@@ -1,0 +1,143 @@
+type params = {
+  latency : float;
+  bandwidth : float;
+  header_bytes : int;
+  jitter : float;
+}
+
+let default_params =
+  { latency = 0.0003; bandwidth = 1.25e6; header_bytes = 64; jitter = 0.0 }
+
+type host = {
+  hnet : t;
+  hname : string;
+  haddr : int;
+  hcpu : Sim.Resource.t;
+  hcpu_factor : float;
+  mutable hup : bool;
+  mutable hepoch : int;
+}
+
+and t = {
+  engine : Sim.Engine.t;
+  mutable params : params;
+  medium : Sim.Resource.t;
+  rand : Sim.Rand.t;
+  mutable drop_prob : float;
+  mutable hosts : host list; (* newest first; addr = position from end *)
+  mutable next_addr : int;
+  mutable messages_sent : int;
+  mutable messages_dropped : int;
+  mutable bytes_sent : int;
+  mutable partitions : (int * int) list; (* normalized (lo, hi) addr pairs *)
+}
+
+let create engine ?(params = default_params) ?(seed = 0x5EEDL) () =
+  {
+    engine;
+    params;
+    medium = Sim.Resource.create engine ~capacity:1 "net.medium";
+    rand = Sim.Rand.create seed;
+    drop_prob = 0.0;
+    hosts = [];
+    next_addr = 0;
+    messages_sent = 0;
+    messages_dropped = 0;
+    bytes_sent = 0;
+    partitions = [];
+  }
+
+let engine t = t.engine
+
+let set_drop_probability t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Net.set_drop_probability";
+  t.drop_prob <- p
+
+let set_jitter t j =
+  if j < 0.0 then invalid_arg "Net.set_jitter";
+  t.params <- { t.params with jitter = j }
+
+let messages_sent t = t.messages_sent
+let messages_dropped t = t.messages_dropped
+let bytes_sent t = t.bytes_sent
+
+module Host = struct
+  type nonrec net = t [@@warning "-34"]
+
+  type t = host
+
+  let create net ?(cpu_factor = 1.0) name =
+    let h =
+      {
+        hnet = net;
+        hname = name;
+        haddr = net.next_addr;
+        hcpu = Sim.Resource.create net.engine ~capacity:1 (name ^ ".cpu");
+        hcpu_factor = cpu_factor;
+        hup = true;
+        hepoch = 0;
+      }
+    in
+    net.next_addr <- net.next_addr + 1;
+    net.hosts <- h :: net.hosts;
+    h
+
+  let name h = h.hname
+  let addr h = h.haddr
+  let net h = h.hnet
+  let engine h = h.hnet.engine
+  let cpu h = h.hcpu
+  let cpu_factor h = h.hcpu_factor
+
+  let use_cpu h seconds =
+    if seconds > 0.0 then Sim.Resource.use h.hcpu (seconds *. h.hcpu_factor)
+
+  let is_up h = h.hup
+  let crash h = h.hup <- false
+
+  let reboot h =
+    h.hup <- true;
+    h.hepoch <- h.hepoch + 1
+
+  let boot_epoch h = h.hepoch
+
+  let by_addr net addr =
+    match List.find_opt (fun h -> h.haddr = addr) net.hosts with
+    | Some h -> h
+    | None -> invalid_arg (Printf.sprintf "Net.Host.by_addr: no host %d" addr)
+end
+
+let pair a b = if a.haddr <= b.haddr then (a.haddr, b.haddr) else (b.haddr, a.haddr)
+
+let partitioned t a b = List.mem (pair a b) t.partitions
+
+let partition t a b =
+  if not (partitioned t a b) then t.partitions <- pair a b :: t.partitions
+
+let heal t a b = t.partitions <- List.filter (fun p -> p <> pair a b) t.partitions
+
+let send t ~src ~dst ~bytes ~deliver =
+  if bytes < 0 then invalid_arg "Net.send: negative size";
+  if not src.hup then () (* a dead host transmits nothing *)
+  else begin
+    t.messages_sent <- t.messages_sent + 1;
+    let wire_bytes = bytes + t.params.header_bytes in
+    t.bytes_sent <- t.bytes_sent + wire_bytes;
+    let dropped =
+      partitioned t src dst
+      || (t.drop_prob > 0.0 && Sim.Rand.float t.rand < t.drop_prob)
+    in
+    Sim.Engine.spawn t.engine ~name:"net.msg" (fun () ->
+        (* transmission occupies the shared medium *)
+        Sim.Resource.use t.medium
+          (float_of_int wire_bytes /. t.params.bandwidth);
+        let delay =
+          t.params.latency
+          +. (if t.params.jitter > 0.0 then
+                Sim.Rand.float t.rand *. t.params.jitter
+              else 0.0)
+        in
+        Sim.Engine.sleep t.engine delay;
+        if dropped then t.messages_dropped <- t.messages_dropped + 1
+        else if dst.hup then deliver ())
+  end

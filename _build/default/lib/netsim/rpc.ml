@@ -1,0 +1,161 @@
+type config = {
+  timeout : float;
+  retries : int;
+  backoff : float;
+  client_cpu_per_call : float;
+  server_cpu_per_call : float;
+  cpu_per_kbyte : float;
+}
+
+let default_config =
+  {
+    timeout = 1.0;
+    retries = 5;
+    backoff = 2.0;
+    client_cpu_per_call = 0.002;
+    server_cpu_per_call = 0.002;
+    cpu_per_kbyte = 0.003;
+  }
+
+exception Timeout of { prog : string; proc : string }
+
+type reply = { data : bytes; bulk : int }
+
+type handler = caller:Net.Host.t -> proc:string -> Xdr.Dec.t -> reply
+
+type dup_entry = In_progress | Done of reply
+
+type service = {
+  prog : string;
+  host : Net.Host.t;
+  mutable handler : handler;
+  pool : Sim.Semaphore.t;
+  dup_cache : (int * int, dup_entry) Hashtbl.t; (* (caller addr, xid) *)
+  counts : Stats.Counter.t;
+  mutable observer : (proc:string -> unit) option;
+  mutable on_restart : (unit -> unit) option;
+  mutable epoch_seen : int;
+}
+
+type t = {
+  net : Net.t;
+  config : config;
+  services : (int * string, service) Hashtbl.t; (* (host addr, prog) *)
+  mutable next_xid : int;
+  mutable retransmissions : int;
+}
+
+let create net ?(config = default_config) () =
+  { net; config; services = Hashtbl.create 8; next_xid = 1; retransmissions = 0 }
+
+let net t = t.net
+let config t = t.config
+let retransmissions t = t.retransmissions
+
+let serve t host ~prog ~threads handler =
+  let key = (Net.Host.addr host, prog) in
+  match Hashtbl.find_opt t.services key with
+  | Some svc ->
+      svc.handler <- handler;
+      svc
+  | None ->
+      let svc =
+        {
+          prog;
+          host;
+          handler;
+          pool = Sim.Semaphore.create (Net.engine t.net) threads;
+          dup_cache = Hashtbl.create 64;
+          counts = Stats.Counter.create ();
+          observer = None;
+          on_restart = None;
+          epoch_seen = Net.Host.boot_epoch host;
+        }
+      in
+      Hashtbl.replace t.services key svc;
+      svc
+
+let service_host svc = svc.host
+let counters svc = svc.counts
+let set_observer svc f = svc.observer <- Some f
+let set_on_restart svc f = svc.on_restart <- Some f
+let thread_pool svc = svc.pool
+
+let payload_cpu t bytes = t.config.cpu_per_kbyte *. (float_of_int bytes /. 1024.)
+
+(* Runs on the server when a request message arrives. [reply_to] sends a
+   reply back along the path of this particular request message. *)
+let handle_request t svc ~caller ~xid ~proc ~args ~bulk ~reply_to =
+  (* volatile server state does not survive a reboot *)
+  let epoch = Net.Host.boot_epoch svc.host in
+  if epoch <> svc.epoch_seen then begin
+    svc.epoch_seen <- epoch;
+    Hashtbl.reset svc.dup_cache;
+    match svc.on_restart with None -> () | Some f -> f ()
+  end;
+  let key = (Net.Host.addr caller, xid) in
+  match Hashtbl.find_opt svc.dup_cache key with
+  | Some In_progress -> () (* retransmission of a call being served: drop *)
+  | Some (Done reply) -> reply_to reply (* replay cached reply *)
+  | None ->
+      Hashtbl.replace svc.dup_cache key In_progress;
+      Sim.Engine.spawn (Net.Host.engine svc.host) ~name:(svc.prog ^ "." ^ proc)
+        (fun () ->
+          Sim.Semaphore.with_unit svc.pool (fun () ->
+              Stats.Counter.incr svc.counts proc;
+              (match svc.observer with
+              | Some f -> f ~proc
+              | None -> ());
+              Net.Host.use_cpu svc.host
+                (t.config.server_cpu_per_call
+                +. payload_cpu t (Bytes.length args + bulk));
+              let reply =
+                svc.handler ~caller ~proc (Xdr.Dec.of_bytes args)
+              in
+              Net.Host.use_cpu svc.host
+                (payload_cpu t (Bytes.length reply.data + reply.bulk));
+              Hashtbl.replace svc.dup_cache key (Done reply);
+              reply_to reply))
+
+(* Enough retries that transient packet loss is very unlikely to be
+   mistaken for a crashed client, but still finishing (~31 s) before the
+   default client-side schedule (~63 s) would time the opener out. *)
+let impatient config = { config with retries = 4 }
+
+let call t ?config ~src ~dst ~prog ~proc ?(bulk = 0) args =
+  let config = match config with Some c -> c | None -> t.config in
+  let engine = Net.engine t.net in
+  let xid = t.next_xid in
+  t.next_xid <- xid + 1;
+  let result : reply Sim.Ivar.t = Sim.Ivar.create engine in
+  let reply_to reply =
+    Net.send t.net ~src:dst ~dst:src
+      ~bytes:(Bytes.length reply.data + reply.bulk)
+      ~deliver:(fun () ->
+        if not (Sim.Ivar.is_full result) then Sim.Ivar.fill result reply)
+  in
+  let transmit () =
+    Net.send t.net ~src ~dst
+      ~bytes:(Bytes.length args + bulk)
+      ~deliver:(fun () ->
+        match Hashtbl.find_opt t.services (Net.Host.addr dst, prog) with
+        | None -> () (* no such program: silence, client times out *)
+        | Some svc ->
+            handle_request t svc ~caller:src ~xid ~proc ~args ~bulk ~reply_to)
+  in
+  Net.Host.use_cpu src
+    (config.client_cpu_per_call +. payload_cpu t (Bytes.length args + bulk));
+  let rec attempt n timeout =
+    transmit ();
+    match Sim.Ivar.read_timeout result timeout with
+    | Some reply ->
+        Net.Host.use_cpu src (payload_cpu t (Bytes.length reply.data + reply.bulk));
+        reply.data
+    | None ->
+        if n >= config.retries then raise (Timeout { prog; proc })
+        else begin
+          t.retransmissions <- t.retransmissions + 1;
+          attempt (n + 1) (timeout *. config.backoff)
+        end
+  in
+  attempt 0 config.timeout

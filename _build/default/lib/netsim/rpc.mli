@@ -1,0 +1,90 @@
+(** ONC-RPC-like transport over {!Net}.
+
+    Matches the structure the paper depends on:
+    - clients retransmit on timeout (same XID, exponential backoff);
+    - servers keep a duplicate-request cache so retried calls (for
+      example retried SNFS callbacks, Section 3.2) are not re-executed;
+    - a server program runs on a bounded thread pool, and any host can
+      be both client and server (SNFS servers call back into clients);
+    - per-message CPU time is charged to both hosts' CPU resources, and
+      message bytes are honest (XDR-marshalled args plus declared bulk
+      data), so network transmission times are meaningful.
+
+    Executed calls are counted per procedure name; the tables of the
+    paper are read off these counters. *)
+
+type t
+
+type config = {
+  timeout : float;  (** initial retransmission timeout, seconds *)
+  retries : int;  (** retransmissions before giving up *)
+  backoff : float;  (** timeout multiplier per retry *)
+  client_cpu_per_call : float;  (** send + receive cost at the client *)
+  server_cpu_per_call : float;  (** receive + send cost at the server *)
+  cpu_per_kbyte : float;  (** marginal cost of touching payload bytes *)
+}
+
+val default_config : config
+
+val create : Net.t -> ?config:config -> unit -> t
+
+val net : t -> Net.t
+val config : t -> config
+
+(** Raised by {!call} when all retransmissions time out (the server or
+    client host may be down, or the network is dropping messages). *)
+exception Timeout of { prog : string; proc : string }
+
+(** Reply from a handler: marshalled result plus [bulk] unmarshalled
+    payload bytes (file data) that count toward message size. *)
+type reply = { data : bytes; bulk : int }
+
+type handler = caller:Net.Host.t -> proc:string -> Xdr.Dec.t -> reply
+
+type service
+
+(** [serve t host ~prog ~threads handler] registers program [prog] on
+    [host] with a pool of [threads] worker threads. Re-registering an
+    existing program replaces its handler (used by hybrid servers). *)
+val serve : t -> Net.Host.t -> prog:string -> threads:int -> handler -> service
+
+val service_host : service -> Net.Host.t
+
+(** Counts of calls actually executed (duplicates suppressed), by
+    procedure name. *)
+val counters : service -> Stats.Counter.t
+
+(** Observer invoked (at execution start) for every executed call. *)
+val set_observer : service -> (proc:string -> unit) -> unit
+
+(** Invoked when the service first receives traffic after its host
+    rebooted; protocol layers reset volatile state here. *)
+val set_on_restart : service -> (unit -> unit) -> unit
+
+(** The worker-thread pool, exposed so SNFS can enforce the "at most
+    N-1 threads performing callbacks" rule. *)
+val thread_pool : service -> Sim.Semaphore.t
+
+(** [call t ~src ~dst ~prog ~proc ?bulk args] performs a remote call
+    from process context: marshalled [args] (plus [bulk] payload bytes)
+    travel to [dst], the handler runs there, and the marshalled reply
+    comes back. Blocks the calling process for the full round trip.
+    Raises {!Timeout} on persistent failure. *)
+val call :
+  t ->
+  ?config:config ->
+  src:Net.Host.t ->
+  dst:Net.Host.t ->
+  prog:string ->
+  proc:string ->
+  ?bulk:int ->
+  bytes ->
+  bytes
+
+(** A config with a short retry schedule, for calls whose failure must
+    be detected promptly (SNFS callbacks to possibly-dead clients,
+    Section 3.2). *)
+val impatient : config -> config
+
+(** Total retransmissions performed by clients (for failure tests). *)
+val retransmissions : t -> int

@@ -1,0 +1,1 @@
+lib/nfs/nfs_client.ml: Blockcache Float Hashtbl Lazy Localfs Netsim Nfs_server Sim Vfs Wire

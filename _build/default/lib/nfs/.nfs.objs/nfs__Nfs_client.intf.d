@@ -1,0 +1,1 @@
+lib/nfs/nfs_client.mli: Blockcache Netsim Vfs Wire

@@ -1,0 +1,1 @@
+lib/nfs/nfs_server.ml: Localfs Netsim Wire Xdr

@@ -1,0 +1,1 @@
+lib/nfs/nfs_server.mli: Localfs Netsim Stats Wire

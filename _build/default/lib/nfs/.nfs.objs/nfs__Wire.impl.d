@@ -1,0 +1,1 @@
+lib/nfs/wire.ml: List Localfs Netsim Printf Xdr

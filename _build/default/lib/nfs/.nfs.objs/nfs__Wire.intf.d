@@ -1,0 +1,1 @@
+lib/nfs/wire.mli: Localfs Netsim Xdr

@@ -1,0 +1,122 @@
+(** Wire format shared by the NFS, SNFS, and RFS protocols.
+
+    Everything here is XDR-marshalled for real (see {!Xdr}); simulated
+    message sizes are the honest encoded sizes. File *data* is carried
+    as a (stamp, length) pair plus [bulk] payload bytes accounted by
+    the RPC layer, so an 8 KB read reply really occupies 8 KB of
+    simulated wire time without us shuffling 8 KB of host memory.
+
+    The SNFS extensions (Section 3 of the paper) are the [open],
+    [close] and [callback] procedures and the version numbers in the
+    open reply. *)
+
+(** File handle: opaque to clients, meaningful to the server. *)
+type fh = { fsid : int; ino : int; gen : int }
+
+val enc_fh : Xdr.Enc.t -> fh -> unit
+val dec_fh : Xdr.Dec.t -> fh
+
+val enc_attrs : Xdr.Enc.t -> Localfs.attrs -> unit
+val dec_attrs : Xdr.Dec.t -> Localfs.attrs
+
+(** Status codes; [Ok] or a [Localfs.error]. *)
+val enc_status : Xdr.Enc.t -> (unit, Localfs.error) result -> unit
+val dec_status : Xdr.Dec.t -> (unit, Localfs.error) result
+
+(** {2 Procedure names}
+
+    All protocols share the basic NFS-like procedures; SNFS adds
+    [p_open]/[p_close] (client to server) and [p_callback] (server to
+    client); recovery adds [p_ping]/[p_reopen]. *)
+
+val p_lookup : string
+val p_getattr : string
+val p_setattr : string
+val p_read : string
+val p_write : string
+val p_create : string
+val p_remove : string
+val p_mkdir : string
+val p_rmdir : string
+val p_rename : string
+val p_readdir : string
+val p_open : string
+val p_close : string
+val p_callback : string
+val p_ping : string
+val p_reopen : string
+
+(** Procedures that move file data (the "data transfer operations" row
+    of Table 5-2). *)
+val data_procs : string list
+
+(** All basic (shared) procedures. *)
+val basic_procs : string list
+
+(** {2 Client-side stubs}
+
+    [call] is a closure over the RPC transport, source and destination;
+    the stubs marshal arguments, unmarshal results, and raise
+    [Localfs.Error] on error status. *)
+
+type call = proc:string -> ?bulk:int -> bytes -> bytes
+
+val lookup : call -> dir:fh -> string -> fh * Localfs.attrs
+val getattr : call -> fh -> Localfs.attrs
+val setattr : call -> fh -> size:int -> Localfs.attrs
+val read : call -> fh -> index:int -> int * int
+val write : call -> fh -> index:int -> stamp:int -> len:int -> Localfs.attrs
+val create : call -> dir:fh -> string -> fh * Localfs.attrs
+val remove : call -> dir:fh -> string -> unit
+val mkdir : call -> dir:fh -> string -> fh * Localfs.attrs
+val rmdir : call -> dir:fh -> string -> unit
+val rename : call -> fromdir:fh -> string -> todir:fh -> string -> unit
+val readdir : call -> fh -> string list
+
+(** SNFS open reply (Section 3.1). *)
+type open_reply = {
+  cache_enabled : bool;
+  version : int;
+  prev_version : int;
+  attrs : Localfs.attrs;
+}
+
+val snfs_open : call -> fh -> write_mode:bool -> open_reply
+val snfs_close : call -> fh -> write_mode:bool -> unit
+
+(** Callback arguments (Section 3.2), server-to-client. *)
+type callback_args = { cb_fh : fh; cb_writeback : bool; cb_invalidate : bool }
+
+val enc_callback : Xdr.Enc.t -> callback_args -> unit
+val dec_callback : Xdr.Dec.t -> callback_args
+
+(** {2 Server-side core}
+
+    Handles the basic procedures against a {!Localfs} — the "service
+    code simply translates RPC requests into GFS operations" layer of
+    Section 4.1. Protocol-specific servers layer open/close/callback
+    handling and write-observation hooks on top. *)
+
+type server_core
+
+val make_server_core :
+  fsid:int ->
+  Localfs.t ->
+  ?on_read:(ino:int -> caller:int -> unit) ->
+  ?on_write:(ino:int -> caller:int -> unit) ->
+  ?on_remove:(ino:int -> unit) ->
+  unit ->
+  server_core
+
+val core_fsid : server_core -> int
+val core_fs : server_core -> Localfs.t
+
+(** Root file handle of the served file system. *)
+val root_fh : server_core -> fh
+
+(** [handle_basic core ~caller ~proc dec] executes a basic procedure,
+    or returns [None] if [proc] is not a basic one. Data writes go to
+    the disk synchronously (Section 2.3: "writes are always synchronous
+    with the disk at the server"). *)
+val handle_basic :
+  server_core -> caller:int -> proc:string -> Xdr.Dec.t -> Netsim.Rpc.reply option

@@ -1,0 +1,1 @@
+lib/rfs/rfs_client.ml: Blockcache Hashtbl Lazy Localfs Netsim Nfs Rfs_server Sim Vfs Xdr

@@ -1,0 +1,1 @@
+lib/rfs/rfs_client.mli: Blockcache Netsim Nfs Vfs

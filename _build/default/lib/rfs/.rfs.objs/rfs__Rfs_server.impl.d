@@ -1,0 +1,1 @@
+lib/rfs/rfs_server.ml: Hashtbl Lazy List Localfs Netsim Nfs Sim Xdr

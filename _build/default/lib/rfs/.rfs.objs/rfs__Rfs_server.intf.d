@@ -1,0 +1,1 @@
+lib/rfs/rfs_server.mli: Localfs Netsim Nfs Stats

@@ -1,0 +1,1 @@
+lib/sim/rand.ml: Array Int64

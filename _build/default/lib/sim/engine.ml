@@ -1,0 +1,91 @@
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  mutable stopped : bool;
+  queue : Eventq.t;
+}
+
+type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+let create () = { now = 0.0; seq = 0; stopped = false; queue = Eventq.create () }
+
+let now t = t.now
+
+let at t time fn =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.at: time %g is before now %g" time t.now);
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Eventq.push t.queue ~time ~seq fn
+
+let after t delay fn = at t (t.now +. delay) fn
+
+exception Process_failure of string * exn * Printexc.raw_backtrace
+
+let () =
+  Printexc.register_printer (function
+    | Process_failure (name, e, _) ->
+        Some
+          (Printf.sprintf "process %S failed with %s" name
+             (Printexc.to_string e))
+    | _ -> None)
+
+let run_process name fn =
+  let open Effect.Deep in
+  match_with fn ()
+    {
+      retc = (fun () -> ());
+      exnc =
+        (fun e ->
+          let bt = Printexc.get_raw_backtrace () in
+          raise (Process_failure (name, e, bt)));
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (b, _) continuation) ->
+                  register (fun v -> continue k v))
+          | _ -> None);
+    }
+
+let spawn t ?(name = "anon") fn = after t 0.0 (fun () -> run_process name fn)
+
+let stop t = t.stopped <- true
+
+let run t =
+  t.stopped <- false;
+  let continue_loop = ref true in
+  while !continue_loop do
+    if t.stopped || Eventq.is_empty t.queue then continue_loop := false
+    else begin
+      let time, _seq, fn = Eventq.pop t.queue in
+      t.now <- time;
+      fn ()
+    end
+  done
+
+let run_until t limit =
+  t.stopped <- false;
+  let continue_loop = ref true in
+  while !continue_loop do
+    if t.stopped then continue_loop := false
+    else
+    match Eventq.peek_time t.queue with
+    | None -> continue_loop := false
+    | Some time when time > limit -> continue_loop := false
+    | Some _ ->
+        let time, _seq, fn = Eventq.pop t.queue in
+        t.now <- time;
+        fn ()
+  done;
+  if t.now < limit then t.now <- limit
+
+let suspend (_t : t) register = Effect.perform (Suspend register)
+
+let sleep t d =
+  if d < 0.0 then invalid_arg "Engine.sleep: negative duration";
+  suspend t (fun resume -> after t d (fun () -> resume ()))
+
+let yield t = sleep t 0.0

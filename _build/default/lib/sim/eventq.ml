@@ -1,0 +1,65 @@
+type entry = { time : float; seq : int; fn : unit -> unit }
+
+type t = { mutable arr : entry array; mutable len : int }
+
+let dummy = { time = 0.0; seq = 0; fn = (fun () -> ()) }
+
+let create () = { arr = Array.make 64 dummy; len = 0 }
+
+let is_empty t = t.len = 0
+
+let length t = t.len
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let arr = Array.make (2 * Array.length t.arr) dummy in
+  Array.blit t.arr 0 arr 0 t.len;
+  t.arr <- arr
+
+let push t ~time ~seq fn =
+  if t.len = Array.length t.arr then grow t;
+  let e = { time; seq; fn } in
+  (* sift up *)
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  t.arr.(!i) <- e;
+  let continue_sift = ref true in
+  while !continue_sift && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before e t.arr.(parent) then begin
+      t.arr.(!i) <- t.arr.(parent);
+      t.arr.(parent) <- e;
+      i := parent
+    end
+    else continue_sift := false
+  done
+
+let pop t =
+  if t.len = 0 then raise Not_found;
+  let top = t.arr.(0) in
+  t.len <- t.len - 1;
+  let last = t.arr.(t.len) in
+  t.arr.(t.len) <- dummy;
+  if t.len > 0 then begin
+    t.arr.(0) <- last;
+    (* sift down *)
+    let i = ref 0 in
+    let continue_sift = ref true in
+    while !continue_sift do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.len && before t.arr.(l) t.arr.(!smallest) then smallest := l;
+      if r < t.len && before t.arr.(r) t.arr.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = t.arr.(!i) in
+        t.arr.(!i) <- t.arr.(!smallest);
+        t.arr.(!smallest) <- tmp;
+        i := !smallest
+      end
+      else continue_sift := false
+    done
+  end;
+  (top.time, top.seq, top.fn)
+
+let peek_time t = if t.len = 0 then None else Some t.arr.(0).time

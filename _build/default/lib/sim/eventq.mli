@@ -1,0 +1,18 @@
+(** Binary min-heap of timestamped events.
+
+    Events are ordered by time; ties are broken by insertion sequence
+    number so that the simulation is fully deterministic. *)
+
+type t
+
+val create : unit -> t
+
+(** [push t ~time ~seq fn] inserts event [fn] to fire at [time]. *)
+val push : t -> time:float -> seq:int -> (unit -> unit) -> unit
+
+(** Earliest event, by (time, seq). Raises [Not_found] if empty. *)
+val pop : t -> float * int * (unit -> unit)
+
+val peek_time : t -> float option
+val is_empty : t -> bool
+val length : t -> int

@@ -1,0 +1,53 @@
+type 'a t = {
+  engine : Engine.t;
+  items : 'a Queue.t;
+  (* Waiters get a message directly; the bool result of the waiter says
+     whether it actually consumed the message (it may have timed out). *)
+  mutable waiters : ('a -> bool) Queue.t;
+}
+
+let create engine = { engine; items = Queue.create (); waiters = Queue.create () }
+
+let length t = Queue.length t.items
+
+let is_empty t = Queue.is_empty t.items
+
+let send t v =
+  let rec deliver () =
+    if Queue.is_empty t.waiters then Queue.push v t.items
+    else begin
+      let w = Queue.pop t.waiters in
+      if not (w v) then deliver ()
+    end
+  in
+  deliver ()
+
+let recv t =
+  if not (Queue.is_empty t.items) then Queue.pop t.items
+  else
+    Engine.suspend t.engine (fun resume ->
+        Queue.push
+          (fun v ->
+            resume v;
+            true)
+          t.waiters)
+
+let recv_timeout t timeout =
+  if not (Queue.is_empty t.items) then Some (Queue.pop t.items)
+  else
+    Engine.suspend t.engine (fun resume ->
+        let fired = ref false in
+        Queue.push
+          (fun v ->
+            if !fired then false
+            else begin
+              fired := true;
+              resume (Some v);
+              true
+            end)
+          t.waiters;
+        Engine.after t.engine timeout (fun () ->
+            if not !fired then begin
+              fired := true;
+              resume None
+            end))

@@ -1,0 +1,15 @@
+(** Unbounded FIFO channel: senders never block, receivers block while
+    the mailbox is empty. Messages are delivered in send order; blocked
+    receivers are served in arrival order. *)
+
+type 'a t
+
+val create : Engine.t -> 'a t
+val send : 'a t -> 'a -> unit
+val recv : 'a t -> 'a
+
+(** [None] if the timeout elapses before a message arrives. *)
+val recv_timeout : 'a t -> float -> 'a option
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

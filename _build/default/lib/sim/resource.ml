@@ -1,0 +1,60 @@
+type t = {
+  engine : Engine.t;
+  name : string;
+  capacity : int;
+  mutable held : int;
+  waiters : (unit -> unit) Queue.t;
+  mutable busy_accum : float;
+  mutable busy_since : float; (* meaningful when held > 0 *)
+}
+
+let create engine ?(capacity = 1) name =
+  if capacity <= 0 then invalid_arg "Resource.create: capacity must be > 0";
+  {
+    engine;
+    name;
+    capacity;
+    held = 0;
+    waiters = Queue.create ();
+    busy_accum = 0.0;
+    busy_since = 0.0;
+  }
+
+let name t = t.name
+let capacity t = t.capacity
+let in_use t = t.held
+let queue_length t = Queue.length t.waiters
+
+let note_acquired t =
+  if t.held = 0 then t.busy_since <- Engine.now t.engine;
+  t.held <- t.held + 1
+
+let note_released t =
+  t.held <- t.held - 1;
+  if t.held = 0 then
+    t.busy_accum <- t.busy_accum +. (Engine.now t.engine -. t.busy_since)
+
+let acquire t =
+  if t.held < t.capacity then note_acquired t
+  else begin
+    Engine.suspend t.engine (fun resume -> Queue.push resume t.waiters);
+    note_acquired t
+  end
+
+let release t =
+  note_released t;
+  if not (Queue.is_empty t.waiters) then
+    let w = Queue.pop t.waiters in
+    w ()
+
+let use t dur =
+  acquire t;
+  match Engine.sleep t.engine dur with
+  | () -> release t
+  | exception e ->
+      release t;
+      raise e
+
+let busy_time t =
+  if t.held > 0 then t.busy_accum +. (Engine.now t.engine -. t.busy_since)
+  else t.busy_accum

@@ -1,0 +1,30 @@
+(** A served resource (CPU, disk arm, ...) with utilization accounting.
+
+    Behaves like a FIFO semaphore of [capacity] units, but additionally
+    tracks the total virtual time during which at least one unit was
+    held ("busy time"), which is what server-utilization figures
+    plot. *)
+
+type t
+
+val create : Engine.t -> ?capacity:int -> string -> t
+
+val name : t -> string
+val capacity : t -> int
+
+val acquire : t -> unit
+val release : t -> unit
+
+(** [use t dur] acquires a unit, holds it for [dur] seconds of virtual
+    time, and releases it. This is the normal way to charge CPU or
+    device time. *)
+val use : t -> float -> unit
+
+(** Cumulative busy time (any unit held) up to the current instant. *)
+val busy_time : t -> float
+
+(** Units currently held. *)
+val in_use : t -> int
+
+(** Processes blocked waiting for a unit. *)
+val queue_length : t -> int

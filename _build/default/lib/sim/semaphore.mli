@@ -1,0 +1,24 @@
+(** Counting semaphore with FIFO wakeup order. *)
+
+type t
+
+(** [create engine n] makes a semaphore with [n] initial units. *)
+val create : Engine.t -> int -> t
+
+(** Block until a unit is available, then take it. *)
+val acquire : t -> unit
+
+(** Take a unit without blocking; [false] if none available. *)
+val try_acquire : t -> bool
+
+val release : t -> unit
+
+(** [with_unit t fn] brackets [fn] with acquire/release, releasing on
+    exception as well. *)
+val with_unit : t -> (unit -> 'a) -> 'a
+
+(** Units currently available. *)
+val available : t -> int
+
+(** Number of processes blocked in [acquire]. *)
+val waiting : t -> int

@@ -1,0 +1,1 @@
+lib/snfs/hybrid_server.ml: Hashtbl Lazy Localfs Netsim Nfs Sim Snfs_server Spritely Xdr

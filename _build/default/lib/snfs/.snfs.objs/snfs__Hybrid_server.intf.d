@@ -1,0 +1,1 @@
+lib/snfs/hybrid_server.mli: Localfs Netsim Nfs Snfs_server Stats

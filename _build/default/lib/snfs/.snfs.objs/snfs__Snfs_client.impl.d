@@ -1,0 +1,1 @@
+lib/snfs/snfs_client.ml: Blockcache Float Hashtbl Lazy List Localfs Netsim Nfs Option Printf Sim Snfs_server Spritely Sys Vfs Xdr

@@ -1,0 +1,1 @@
+lib/snfs/snfs_client.mli: Blockcache Netsim Nfs Vfs

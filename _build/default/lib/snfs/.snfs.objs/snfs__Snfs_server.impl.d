@@ -1,0 +1,1 @@
+lib/snfs/snfs_server.ml: Hashtbl Lazy List Localfs Netsim Nfs Sim Spritely Xdr

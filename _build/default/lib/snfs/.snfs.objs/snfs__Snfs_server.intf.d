@@ -1,0 +1,1 @@
+lib/snfs/snfs_server.mli: Localfs Netsim Nfs Spritely Stats

@@ -1,0 +1,322 @@
+let prog = "snfs"
+
+let client_prog_for fsid = "snfs_cb." ^ string_of_int fsid
+
+type t = {
+  rpc : Netsim.Rpc.t;
+  host : Netsim.Net.Host.t;
+  core : Nfs.Wire.server_core;
+  mutable table : Spritely.State_table.t;
+  max_table_entries : int;
+  service : Netsim.Rpc.service;
+  callback_tokens : Sim.Semaphore.t; (* at most threads-1 concurrent *)
+  mutable callbacks_sent : int;
+  mutable callbacks_failed : int;
+  last_heard : (int, float) Hashtbl.t; (* client addr -> last RPC time *)
+  (* per-file consistency critical section: the table must not be
+     consulted by a second open while a first open's callbacks are
+     still in flight, or the second open trusts a cachability the
+     target client has not yet learned about *)
+  file_locks : (int, Sim.Semaphore.t) Hashtbl.t;
+  mutable clients_reaped : int;
+  recovery_grace : float;
+  mutable grace_until : float;
+  recovered : (int, unit) Hashtbl.t; (* clients that replayed state *)
+  engine : Sim.Engine.t;
+}
+
+let mode_of_flag write_mode =
+  if write_mode then Spritely.State_table.Write else Spritely.State_table.Read
+
+(* Deliver one callback prescribed by the state table. A dead client
+   is forgotten, as Section 3.2 prescribes; its dirty data (if any) is
+   lost and the entry stays flagged inconsistent. *)
+let perform_callback t ~file (cb : Spritely.State_table.callback) =
+  let target = Netsim.Net.Host.by_addr (Netsim.Rpc.net t.rpc) cb.target in
+  let attrs = Localfs.getattr (Nfs.Wire.core_fs t.core) file in
+  let args =
+    {
+      Nfs.Wire.cb_fh =
+        {
+          Nfs.Wire.fsid = Nfs.Wire.core_fsid t.core;
+          ino = file;
+          gen = attrs.Localfs.gen;
+        };
+      cb_writeback = cb.writeback;
+      cb_invalidate = cb.invalidate;
+    }
+  in
+  let e = Xdr.Enc.create () in
+  Nfs.Wire.enc_callback e args;
+  t.callbacks_sent <- t.callbacks_sent + 1;
+  (* a short retry schedule: the opener waiting on this callback must
+     not itself time out before we give up on a dead client *)
+  match
+    Netsim.Rpc.call t.rpc
+      ~config:(Netsim.Rpc.impatient (Netsim.Rpc.config t.rpc))
+      ~src:t.host ~dst:target
+      ~prog:(client_prog_for (Nfs.Wire.core_fsid t.core))
+      ~proc:Nfs.Wire.p_callback (Xdr.Enc.to_bytes e)
+  with
+  | _reply ->
+      if cb.writeback then
+        Spritely.State_table.note_clean t.table ~file ~client:cb.target
+  | exception Netsim.Rpc.Timeout _ ->
+      t.callbacks_failed <- t.callbacks_failed + 1;
+      Spritely.State_table.forget_client t.table cb.target
+
+let perform_callbacks t ~file callbacks =
+  if callbacks <> [] then
+    Sim.Semaphore.with_unit t.callback_tokens (fun () ->
+        List.iter (perform_callback t ~file) callbacks)
+
+(* The table is full of apparently-open files — usually delayed-close
+   clients (Section 6.2). Ask the least-recently-active entry's clients
+   to relinquish: a callback with neither flag set tells a client to
+   release any withheld closes. Returns true if it is worth retrying
+   the open. *)
+let relinquish_for_space t =
+  match Spritely.State_table.least_recently_active_open t.table with
+  | None -> false
+  | Some (file, clients) ->
+      perform_callbacks t ~file
+        (List.map
+           (fun client ->
+             {
+               Spritely.State_table.target = client;
+               writeback = false;
+               invalidate = false;
+             })
+           clients);
+      true
+
+let in_grace t = Sim.Engine.now t.engine < t.grace_until
+
+let with_file_lock t file f =
+  let lock =
+    match Hashtbl.find_opt t.file_locks file with
+    | Some l -> l
+    | None ->
+        let l = Sim.Semaphore.create t.engine 1 in
+        Hashtbl.replace t.file_locks file l;
+        l
+  in
+  Sim.Semaphore.with_unit lock f
+
+let handle_open t ~caller d =
+  let fh = Nfs.Wire.dec_fh d in
+  let write_mode = Xdr.Dec.bool d in
+  let e = Xdr.Enc.create () in
+  if in_grace t && not (Hashtbl.mem t.recovered caller) then begin
+    (* the consistency state may not change until recovery completes
+       (Section 2.4); the client backs off and retries *)
+    Nfs.Wire.enc_status e (Error Localfs.Again);
+    { Netsim.Rpc.data = Xdr.Enc.to_bytes e; bulk = 0 }
+  end
+  else begin
+  with_file_lock t fh.Nfs.Wire.ino @@ fun () ->
+  (match Localfs.getattr (Nfs.Wire.core_fs t.core) fh.Nfs.Wire.ino with
+  | attrs -> (
+      let rec try_open retried =
+        match
+          Spritely.State_table.open_file t.table ~file:fh.Nfs.Wire.ino
+            ~client:caller ~mode:(mode_of_flag write_mode)
+        with
+        | result ->
+            (* the opener must not see the file until the other clients'
+               dirty blocks are back and their caches are off *)
+            perform_callbacks t ~file:fh.Nfs.Wire.ino
+              result.Spritely.State_table.callbacks;
+            (* attributes may have changed during the write-backs *)
+            let attrs =
+              try Localfs.getattr (Nfs.Wire.core_fs t.core) fh.Nfs.Wire.ino
+              with Localfs.Error _ -> attrs
+            in
+            Nfs.Wire.enc_status e (Ok ());
+            Xdr.Enc.bool e result.Spritely.State_table.cache_enabled;
+            Xdr.Enc.uint32 e result.Spritely.State_table.version;
+            Xdr.Enc.uint32 e result.Spritely.State_table.prev_version;
+            Nfs.Wire.enc_attrs e attrs
+        | exception Spritely.State_table.Table_full ->
+            if (not retried) && relinquish_for_space t then try_open true
+            else Nfs.Wire.enc_status e (Error Localfs.Stale)
+      in
+      try_open false)
+  | exception Localfs.Error err -> Nfs.Wire.enc_status e (Error err));
+  { Netsim.Rpc.data = Xdr.Enc.to_bytes e; bulk = 0 }
+  end
+
+let handle_close t ~caller d =
+  let fh = Nfs.Wire.dec_fh d in
+  let write_mode = Xdr.Dec.bool d in
+  (* a close the server does not know about (it rebooted, or reclaimed
+     the entry) is harmless; tolerate it *)
+  (try
+     Spritely.State_table.close_file t.table ~file:fh.Nfs.Wire.ino
+       ~client:caller ~mode:(mode_of_flag write_mode)
+   with Invalid_argument _ -> ());
+  let e = Xdr.Enc.create () in
+  Nfs.Wire.enc_status e (Ok ());
+  { Netsim.Rpc.data = Xdr.Enc.to_bytes e; bulk = 0 }
+
+let handle_ping t =
+  let e = Xdr.Enc.create () in
+  Nfs.Wire.enc_status e (Ok ());
+  Xdr.Enc.uint32 e (Netsim.Net.Host.boot_epoch t.host);
+  { Netsim.Rpc.data = Xdr.Enc.to_bytes e; bulk = 0 }
+
+(* recovery: one client's statement of everything it holds *)
+let handle_reopen t ~caller d =
+  Hashtbl.replace t.recovered caller ();
+  let n = Xdr.Dec.uint32 d in
+  for _ = 1 to n do
+    let file = Xdr.Dec.uint32 d in
+    let readers = Xdr.Dec.uint32 d in
+    let writers = Xdr.Dec.uint32 d in
+    let can_cache = Xdr.Dec.bool d in
+    let dirty = Xdr.Dec.bool d in
+    let version = Xdr.Dec.uint32 d in
+    Spritely.State_table.merge_report t.table
+      {
+        Spritely.State_table.r_client = caller;
+        r_file = file;
+        r_readers = readers;
+        r_writers = writers;
+        r_can_cache = can_cache;
+        r_dirty = dirty;
+        r_version = version;
+      }
+  done;
+  let e = Xdr.Enc.create () in
+  Nfs.Wire.enc_status e (Ok ());
+  { Netsim.Rpc.data = Xdr.Enc.to_bytes e; bulk = 0 }
+
+(* the default thread count leaves headroom for open handlers parked on
+   a file lock while another open's callbacks complete; at least one
+   thread must stay free to serve the write-backs those callbacks
+   provoke (Section 3.2's N-1 rule, extended) *)
+let serve rpc host ?(threads = 8) ?(max_table_entries = 1000)
+    ?(recovery_grace = 0.0) ~fsid fs =
+  if threads < 2 then invalid_arg "Snfs_server.serve: need at least 2 threads";
+  let engine = Netsim.Net.engine (Netsim.Rpc.net rpc) in
+  let rec t =
+    lazy
+      (let core =
+         Nfs.Wire.make_server_core ~fsid fs
+           ~on_remove:(fun ~ino ->
+             let tt = Lazy.force t in
+             Spritely.State_table.remove_file tt.table ~file:ino)
+           ()
+       in
+       let handler ~caller ~proc dec =
+         let tt = Lazy.force t in
+         let caller_addr = Netsim.Net.Host.addr caller in
+         Hashtbl.replace tt.last_heard caller_addr (Sim.Engine.now engine);
+         if proc = Nfs.Wire.p_open then handle_open tt ~caller:caller_addr dec
+         else if proc = Nfs.Wire.p_close then
+           handle_close tt ~caller:caller_addr dec
+         else if proc = Nfs.Wire.p_ping then handle_ping tt
+         else if proc = Nfs.Wire.p_reopen then
+           handle_reopen tt ~caller:caller_addr dec
+         else
+           match
+             Nfs.Wire.handle_basic tt.core ~caller:caller_addr ~proc dec
+           with
+           | Some reply -> reply
+           | None ->
+               let e = Xdr.Enc.create () in
+               Nfs.Wire.enc_status e (Error Localfs.Stale);
+               { Netsim.Rpc.data = Xdr.Enc.to_bytes e; bulk = 0 }
+       in
+       let service = Netsim.Rpc.serve rpc host ~prog ~threads handler in
+       {
+         rpc;
+         host;
+         core;
+         table = Spritely.State_table.create ~max_entries:max_table_entries ();
+         max_table_entries;
+         service;
+         callback_tokens = Sim.Semaphore.create engine (threads - 1);
+         callbacks_sent = 0;
+         callbacks_failed = 0;
+         last_heard = Hashtbl.create 16;
+         file_locks = Hashtbl.create 64;
+         clients_reaped = 0;
+         recovery_grace;
+         grace_until = 0.0;
+         recovered = Hashtbl.create 16;
+         engine;
+       })
+  in
+  let t = Lazy.force t in
+  (* volatile consistency state dies with the server process *)
+  Netsim.Rpc.set_on_restart t.service (fun () ->
+      t.table <-
+        Spritely.State_table.create ~max_entries:t.max_table_entries ();
+      t.callbacks_sent <- 0;
+      t.callbacks_failed <- 0;
+      Hashtbl.reset t.recovered;
+      t.grace_until <- Sim.Engine.now engine +. t.recovery_grace);
+  t
+
+let deliver_callbacks t ~file callbacks = perform_callbacks t ~file callbacks
+
+(* clients currently holding any state in the table *)
+let clients_with_state t =
+  List.concat_map
+    (fun file ->
+      let openers =
+        List.map (fun (c, _, _) -> c) (Spritely.State_table.openers t.table ~file)
+      in
+      match Spritely.State_table.last_writer t.table ~file with
+      | Some w -> w :: openers
+      | None -> openers)
+    (Spritely.State_table.files t.table)
+  |> List.sort_uniq compare
+
+let start_client_reaper ?(idle = 120.0) t ~interval =
+  let engine = Netsim.Net.engine (Netsim.Rpc.net t.rpc) in
+  let probe client =
+    let target = Netsim.Net.Host.by_addr (Netsim.Rpc.net t.rpc) client in
+    let e = Xdr.Enc.create () in
+    match
+      Netsim.Rpc.call t.rpc
+        ~config:(Netsim.Rpc.impatient (Netsim.Rpc.config t.rpc))
+        ~src:t.host ~dst:target
+        ~prog:(client_prog_for (Nfs.Wire.core_fsid t.core))
+        ~proc:Nfs.Wire.p_ping (Xdr.Enc.to_bytes e)
+    with
+    | _reply -> Hashtbl.replace t.last_heard client (Sim.Engine.now engine)
+    | exception Netsim.Rpc.Timeout _ ->
+        (* dead: drop its opens; any dirty data it held is lost and the
+           affected files are flagged inconsistent *)
+        t.clients_reaped <- t.clients_reaped + 1;
+        Hashtbl.remove t.last_heard client;
+        Spritely.State_table.forget_client t.table client
+  in
+  let rec loop () =
+    Sim.Engine.sleep engine interval;
+    let now = Sim.Engine.now engine in
+    let silent_too_long client =
+      match Hashtbl.find_opt t.last_heard client with
+      | Some heard -> now -. heard >= idle
+      | None -> true
+    in
+    List.iter
+      (fun client -> if silent_too_long client then probe client)
+      (clients_with_state t);
+    loop ()
+  in
+  Sim.Engine.spawn engine ~name:"snfs.client-reaper" loop
+
+let clients_reaped t = t.clients_reaped
+
+let core t = t.core
+
+let host t = t.host
+let root_fh t = Nfs.Wire.root_fh t.core
+let service t = t.service
+let counters t = Netsim.Rpc.counters t.service
+let state_table t = t.table
+let callbacks_sent t = t.callbacks_sent
+let callbacks_failed t = t.callbacks_failed

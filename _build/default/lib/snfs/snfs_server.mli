@@ -1,0 +1,80 @@
+(** The Spritely NFS server (paper Sections 3 and 4.3).
+
+    The NFS server plus:
+    - [open] and [close] RPC procedures driving the
+      {!Spritely.State_table};
+    - server-to-client [callback] RPCs, performed *before* the open
+      that triggered them is answered; at most [threads - 1] handler
+      threads may be performing callbacks at once so the write-backs
+      they provoke can always be serviced (Section 3.2);
+    - a crashed callback target is forgotten ({!Spritely.State_table.forget_client});
+      the open proceeds but the file is flagged possibly-inconsistent;
+    - [ping]/[reopen] procedures implementing the crash-recovery
+      protocol sketched in Section 2.4: after a reboot, clients detect
+      the new boot epoch and re-send their open state, from which the
+      state table is reconstructed. *)
+
+type t
+
+val prog : string
+
+(** RPC program name of the client-side callback service for the
+    given file system (one service per mounted fsid). *)
+val client_prog_for : int -> string
+
+(** [serve rpc host ~fsid fs] exports [fs] under the SNFS protocol.
+    [recovery_grace] (default 0: disabled) enables the Section 2.4
+    grace period: for that many seconds after a reboot, opens from
+    clients that have not yet replayed their state via [reopen] are
+    refused with a retryable error, so the consistency state cannot
+    change "until the server is willing to allow it". *)
+val serve :
+  Netsim.Rpc.t ->
+  Netsim.Net.Host.t ->
+  ?threads:int ->
+  ?max_table_entries:int ->
+  ?recovery_grace:float ->
+  fsid:int ->
+  Localfs.t ->
+  t
+
+(** Is the server currently inside a post-reboot grace period? *)
+val in_grace : t -> bool
+
+(** Run [f] inside the per-file consistency critical section (opens and
+    their callbacks are serialized per file; the hybrid server's
+    implicit opens must join the same discipline). *)
+val with_file_lock : t -> int -> (unit -> 'a) -> 'a
+
+val host : t -> Netsim.Net.Host.t
+val root_fh : t -> Nfs.Wire.fh
+val service : t -> Netsim.Rpc.service
+val counters : t -> Stats.Counter.t
+val state_table : t -> Spritely.State_table.t
+
+(** Callbacks issued / failed (dead clients). *)
+val callbacks_sent : t -> int
+val callbacks_failed : t -> int
+
+(** Deliver a list of prescribed callbacks now (used by the hybrid
+    NFS/SNFS server of Section 6.1, whose implicit opens also produce
+    callback prescriptions). Blocks until all are delivered or their
+    targets are declared dead. *)
+val deliver_callbacks :
+  t -> file:int -> Spritely.State_table.callback list -> unit
+
+(** The underlying basic-procedure core (shared with the hybrid
+    server). *)
+val core : t -> Nfs.Wire.server_core
+
+(** Start the client-crash detector of Section 2.4: clients holding
+    state that have been silent for [idle] seconds are pinged every
+    [interval]; a client that does not answer is forgotten (its opens
+    are dropped and files it may have dirtied are flagged
+    inconsistent). Sprite detected crashes "by tracking the passage of
+    RPC packets, and using periodic keepalive packets" — this is that
+    mechanism, server-side. *)
+val start_client_reaper : ?idle:float -> t -> interval:float -> unit
+
+(** Clients forgotten by the reaper so far. *)
+val clients_reaped : t -> int

@@ -1,0 +1,30 @@
+type t = (string, int) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let incr t ?(n = 1) name =
+  let cur = match Hashtbl.find_opt t name with Some v -> v | None -> 0 in
+  Hashtbl.replace t name (cur + n)
+
+let get t name = match Hashtbl.find_opt t name with Some v -> v | None -> 0
+
+let total t = Hashtbl.fold (fun _ v acc -> acc + v) t 0
+
+let total_of t names = List.fold_left (fun acc n -> acc + get t n) 0 names
+
+let to_list t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t = Hashtbl.reset t
+
+let snapshot t = Hashtbl.copy t
+
+let diff later earlier =
+  let out = create () in
+  Hashtbl.iter
+    (fun name v ->
+      let d = v - get earlier name in
+      if d <> 0 then Hashtbl.replace out name d)
+    later;
+  out

@@ -1,0 +1,30 @@
+(** Named counter sets, used for the RPC-operation tables (Tables 5-2,
+    5-4, 5-6 of the paper). *)
+
+type t
+
+val create : unit -> t
+
+(** Add [n] (default 1) to the named counter, creating it at zero if
+    needed. *)
+val incr : t -> ?n:int -> string -> unit
+
+val get : t -> string -> int
+
+(** Sum over all counters. *)
+val total : t -> int
+
+(** Sum over the given names. *)
+val total_of : t -> string list -> int
+
+(** All (name, count) pairs, sorted by name. *)
+val to_list : t -> (string * int) list
+
+val reset : t -> unit
+
+(** Independent copy. *)
+val snapshot : t -> t
+
+(** [diff later earlier] returns a counter set with the per-name
+    difference, for measuring an interval. *)
+val diff : t -> t -> t

@@ -1,0 +1,1 @@
+lib/vfs/fileio.ml: Fs List Localfs Mount Stamp

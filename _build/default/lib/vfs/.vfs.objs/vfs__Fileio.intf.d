@@ -1,0 +1,1 @@
+lib/vfs/fileio.mli: Fs Localfs Mount

@@ -1,0 +1,1 @@
+lib/vfs/local_mount.ml: Fs Lazy Localfs

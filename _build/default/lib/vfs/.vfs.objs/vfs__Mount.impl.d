@@ -1,0 +1,1 @@
+lib/vfs/mount.ml: Fs Hashtbl List Printf String

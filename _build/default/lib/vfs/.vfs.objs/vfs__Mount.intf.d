@@ -1,0 +1,1 @@
+lib/vfs/mount.mli: Fs

@@ -1,0 +1,1 @@
+lib/vfs/stamp.mli:

@@ -1,0 +1,91 @@
+type t = {
+  mutable mounts : (string list * Fs.t) list; (* components of mount point *)
+  mutable name_cache : (string, Fs.vn) Hashtbl.t option;
+}
+
+let create () = { mounts = []; name_cache = None }
+
+let components path =
+  if String.length path = 0 || path.[0] <> '/' then
+    invalid_arg (Printf.sprintf "Mount: path %S is not absolute" path);
+  String.split_on_char '/' path |> List.filter (fun c -> c <> "")
+
+let mount t ~at fs =
+  let comps = components at in
+  if List.exists (fun (c, _) -> c = comps) t.mounts then
+    invalid_arg (Printf.sprintf "Mount.mount: %s already mounted" at);
+  (* keep longest mounts first so prefix matching finds the deepest *)
+  t.mounts <-
+    List.sort
+      (fun (a, _) (b, _) -> compare (List.length b) (List.length a))
+      ((comps, fs) :: t.mounts)
+
+let enable_name_cache t =
+  if t.name_cache = None then t.name_cache <- Some (Hashtbl.create 256)
+
+let rec strip_prefix prefix l =
+  match (prefix, l) with
+  | [], rest -> Some rest
+  | p :: ps, x :: xs when p = x -> strip_prefix ps xs
+  | _ -> None
+
+let find_mount t comps =
+  let rec try_mounts = function
+    | [] -> invalid_arg "Mount: no file system mounted at /"
+    | (mcomps, fs) :: rest -> (
+        match strip_prefix mcomps comps with
+        | Some remainder -> (fs, remainder)
+        | None -> try_mounts rest)
+  in
+  try_mounts t.mounts
+
+let rec walk t fs dir remaining walked =
+  match remaining with
+  | [] -> dir
+  | name :: rest ->
+      let walked = name :: walked in
+      let child =
+        match t.name_cache with
+        | None -> fs.Fs.lookup ~dir name
+        | Some cache -> (
+            let key =
+              fs.Fs.fs_name ^ ":" ^ String.concat "/" (List.rev walked)
+            in
+            match Hashtbl.find_opt cache key with
+            | Some vn -> vn
+            | None ->
+                let vn = fs.Fs.lookup ~dir name in
+                Hashtbl.replace cache key vn;
+                vn)
+      in
+      walk t fs child rest walked
+
+let resolve t path =
+  let comps = components path in
+  let fs, remainder = find_mount t comps in
+  walk t fs (fs.Fs.root ()) remainder []
+
+let resolve_parent t path =
+  let comps = components path in
+  match List.rev comps with
+  | [] -> invalid_arg "Mount.resolve_parent: path is a mount root"
+  | name :: rev_parent ->
+      let parent_comps = List.rev rev_parent in
+      let fs, remainder = find_mount t (parent_comps @ [ name ]) in
+      (* the final component must stay within the same mount *)
+      (match remainder with
+      | [] -> invalid_arg "Mount.resolve_parent: path is a mount point"
+      | _ -> ());
+      let fs', parent_remainder = find_mount t parent_comps in
+      if fs' != fs then invalid_arg "Mount.resolve_parent: crosses a mount";
+      let dir = walk t fs' (fs'.Fs.root ()) parent_remainder [] in
+      (dir, name)
+
+let uncache t path =
+  match t.name_cache with
+  | None -> ()
+  | Some cache ->
+      let comps = components path in
+      let fs, remainder = find_mount t comps in
+      let key = fs.Fs.fs_name ^ ":" ^ String.concat "/" remainder in
+      Hashtbl.remove cache key

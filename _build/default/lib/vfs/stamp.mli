@@ -1,0 +1,8 @@
+(** Globally unique content stamps.
+
+    A stamp identifies one logical write: a block whose content stamp
+    equals the stamp of the most recent write to it is up to date. The
+    consistency oracle in the tests compares stamps instead of bytes. *)
+
+(** A fresh, never-before-returned stamp. *)
+val fresh : unit -> int

@@ -1,0 +1,1 @@
+lib/workload/andrew.ml: App Array File_tree Filename List Printf Vfs

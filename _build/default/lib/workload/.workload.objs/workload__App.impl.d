@@ -1,0 +1,1 @@
+lib/workload/app.ml: Netsim Sim Vfs

@@ -1,0 +1,1 @@
+lib/workload/app.mli: Netsim Sim Vfs

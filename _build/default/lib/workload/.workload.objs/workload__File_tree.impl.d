@@ -1,0 +1,1 @@
+lib/workload/file_tree.ml: App Filename List Printf Sim Vfs

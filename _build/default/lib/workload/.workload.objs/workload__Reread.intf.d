@@ -1,0 +1,1 @@
+lib/workload/reread.mli: App

@@ -1,0 +1,1 @@
+lib/workload/sort_workload.ml: App List Printf Vfs

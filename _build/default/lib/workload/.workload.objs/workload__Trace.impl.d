@@ -1,0 +1,1 @@
+lib/workload/trace.ml: App Int64 List Printf Sim Stats Vfs

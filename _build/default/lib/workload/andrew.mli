@@ -1,0 +1,52 @@
+(** The Andrew benchmark (Howard et al. 1988), as used in Section 5.2 —
+    the Ousterhout-modified variant with a fixed-cost "portable
+    compiler" so results are comparable across systems.
+
+    Five phases over a source tree:
+    - {b MakeDir}: build a target subtree of identical structure;
+    - {b Copy}: copy every file into the target subtree;
+    - {b ScanDir}: recursively stat everything (no data reads);
+    - {b ReadAll}: read every byte of every file once;
+    - {b Make}: "compile" the C sources (read source + shared headers,
+      compute, produce and delete a compiler temporary in /tmp, write a
+      .o) and link the result.
+
+    CPU costs are parameters of the simulated compiler, chosen once so
+    the local-disk column lands near Table 5-1's, and then held fixed
+    across protocols. *)
+
+type config = {
+  tree : File_tree.spec;
+  src_root : string;
+  dst_root : string;
+  tmp_dir : string;  (** compiler temporaries go here (Section 5.2) *)
+  mkdir_cpu : float;
+  copy_cpu_per_file : float;
+  scan_cpu_per_entry : float;
+  read_cpu_per_file : float;
+  read_cpu_per_kb : float;
+  compile_cpu_base : float;
+  compile_cpu_per_kb : float;
+  headers_per_compile : int;
+  temp_bytes_factor : float;  (** temp file size vs source size *)
+  obj_bytes_factor : float;  (** .o size vs source size *)
+  link_cpu : float;
+}
+
+val default_config : config
+
+type phase_times = {
+  makedir : float;
+  copy : float;
+  scandir : float;
+  readall : float;
+  make : float;
+}
+
+val total : phase_times -> float
+
+(** Create the source tree (not part of the timed benchmark). *)
+val setup : App.t -> config -> File_tree.tree
+
+(** Run the five phases and return per-phase elapsed virtual time. *)
+val run : App.t -> config -> File_tree.tree -> phase_times

@@ -1,0 +1,16 @@
+type t = {
+  mounts : Vfs.Mount.t;
+  host : Netsim.Net.Host.t;
+  engine : Sim.Engine.t;
+}
+
+let make ~mounts ~host = { mounts; host; engine = Netsim.Net.Host.engine host }
+
+let think t seconds = Netsim.Net.Host.use_cpu t.host seconds
+
+let now t = Sim.Engine.now t.engine
+
+let timed t fn =
+  let t0 = now t in
+  let result = fn () in
+  (now t -. t0, result)

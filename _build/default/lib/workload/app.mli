@@ -1,0 +1,25 @@
+(** Application context: the mounts a simulated program sees plus the
+    host whose CPU its computation occupies.
+
+    Charging "think time" to the client CPU is what creates the
+    compute/I-O overlap that delayed writes exploit (Section 2.3 of the
+    paper): while the application computes, write-backs proceed in
+    parallel. *)
+
+type t = {
+  mounts : Vfs.Mount.t;
+  host : Netsim.Net.Host.t;
+  engine : Sim.Engine.t;
+}
+
+val make : mounts:Vfs.Mount.t -> host:Netsim.Net.Host.t -> t
+
+(** Charge [seconds] of computation to the application's CPU. *)
+val think : t -> float -> unit
+
+(** Current virtual time. *)
+val now : t -> float
+
+(** [timed ctx fn] runs [fn] and returns (elapsed virtual seconds,
+    result). *)
+val timed : t -> (unit -> 'a) -> float * 'a

@@ -1,0 +1,32 @@
+(** The external-sort benchmark of Section 5.3.
+
+    Unix [sort] on a file too large for memory: read the input in
+    chunks, sort each chunk into a run file under [/usr/tmp], then
+    merge runs (multi-way, possibly multiple passes), writing new
+    temporaries and deleting consumed ones, until a single sorted
+    output remains. Temporary traffic grows faster than the input —
+    the paper's Table 5-3 inputs of 281 k / 1408 k / 2816 k use 304 k /
+    2170 k / 7764 k of temporary storage. *)
+
+type config = {
+  input_bytes : int;
+  input_path : string;  (** lives outside the file system under test *)
+  output_path : string;
+  tmp_dir : string;  (** the /usr/tmp under test *)
+  run_bytes : int;  (** initial run size *)
+  merge_width : int;
+  run_cpu_per_kb : float;  (** in-memory sorting of one run *)
+  merge_cpu_per_kb : float;  (** per KB passing through a merge *)
+}
+
+val default_config : config
+
+type result = {
+  elapsed : float;
+  temp_bytes_written : int;  (** temporary bytes pushed through /usr/tmp *)
+}
+
+(** Create the input file (untimed). *)
+val setup : App.t -> config -> unit
+
+val run : App.t -> config -> result

@@ -1,0 +1,123 @@
+type config = {
+  operations : int;
+  working_dir : string;
+  hot_files : int;
+  cold_files : int;
+  temp_lifetime : float;
+  temp_fraction : float;
+  read_fraction : float;
+  mean_think : float;
+  small_bytes : int;
+  large_bytes : int;
+  seed : int64;
+}
+
+let default_config =
+  {
+    operations = 400;
+    working_dir = "/data/trace";
+    hot_files = 6;
+    cold_files = 60;
+    temp_lifetime = 3.0;
+    temp_fraction = 0.15;
+    read_fraction = 0.75;
+    mean_think = 0.3;
+    small_bytes = 3_000;
+    large_bytes = 24_000;
+    seed = 0x7EACEL;
+  }
+
+type op =
+  | Read_whole of string
+  | Rewrite of string * int
+  | Stat of string
+  | Temp of string * int
+
+let file_name config i =
+  Printf.sprintf "%s/f%03d" config.working_dir i
+
+let generate config =
+  let rand = Sim.Rand.create config.seed in
+  let total = config.hot_files + config.cold_files in
+  let pick_file () =
+    (* hot files get half of all references despite being few — the
+       popularity skew of real traces *)
+    if Sim.Rand.float rand < 0.5 then
+      file_name config (Sim.Rand.int rand config.hot_files)
+    else
+      file_name config
+        (config.hot_files + Sim.Rand.int rand config.cold_files)
+  in
+  let size () =
+    if Sim.Rand.float rand < 0.8 then config.small_bytes
+    else config.large_bytes
+  in
+  let temp_counter = ref 0 in
+  List.init config.operations (fun _ ->
+      if Sim.Rand.float rand < config.temp_fraction then begin
+        incr temp_counter;
+        Temp (Printf.sprintf "%s/tmp%04d" config.working_dir !temp_counter,
+              size ())
+      end
+      else if Sim.Rand.float rand < config.read_fraction then
+        if Sim.Rand.float rand < 0.15 then Stat (pick_file ())
+        else Read_whole (pick_file ())
+      else Rewrite (pick_file (), size ()))
+  |> fun ops ->
+  ignore total;
+  ops
+
+type result = {
+  read_lat : Stats.Histogram.t;
+  write_lat : Stats.Histogram.t;
+  stat_lat : Stats.Histogram.t;
+  temp_lat : Stats.Histogram.t;
+  elapsed : float;
+}
+
+let setup ctx config =
+  Vfs.Fileio.mkdir ctx.App.mounts config.working_dir;
+  for i = 0 to config.hot_files + config.cold_files - 1 do
+    Vfs.Fileio.write_file ctx.App.mounts (file_name config i)
+      ~bytes:config.small_bytes
+  done
+
+let replay ctx config ops =
+  let rand = Sim.Rand.create (Int64.add config.seed 1L) in
+  let r =
+    {
+      read_lat = Stats.Histogram.create "read";
+      write_lat = Stats.Histogram.create "rewrite";
+      stat_lat = Stats.Histogram.create "stat";
+      temp_lat = Stats.Histogram.create "temp";
+      elapsed = 0.0;
+    }
+  in
+  let timed hist f =
+    let t0 = App.now ctx in
+    f ();
+    Stats.Histogram.add hist (App.now ctx -. t0)
+  in
+  let t0 = App.now ctx in
+  List.iter
+    (fun op ->
+      App.think ctx (Sim.Rand.exponential rand config.mean_think);
+      match op with
+      | Read_whole path ->
+          timed r.read_lat (fun () ->
+              ignore (Vfs.Fileio.read_file ctx.App.mounts path))
+      | Rewrite (path, bytes) ->
+          timed r.write_lat (fun () ->
+              Vfs.Fileio.write_file ctx.App.mounts path ~bytes)
+      | Stat path ->
+          timed r.stat_lat (fun () ->
+              ignore (Vfs.Fileio.stat ctx.App.mounts path))
+      | Temp (path, bytes) ->
+          timed r.temp_lat (fun () ->
+              Vfs.Fileio.write_file ctx.App.mounts path ~bytes;
+              ignore (Vfs.Fileio.read_file ctx.App.mounts path);
+              (* the short life of a compiler temporary *)
+              Sim.Engine.sleep ctx.App.engine config.temp_lifetime;
+              Vfs.Fileio.unlink ctx.App.mounts path))
+    ops;
+  { r with elapsed = App.now ctx -. t0 }

@@ -1,0 +1,50 @@
+(** Trace-driven workload, shaped by the BSD trace study the paper's
+    argument leans on (Ousterhout et al. 1985, the paper's [10]):
+
+    - most accesses are whole-file and sequential;
+    - most files are small;
+    - a surprising number of files live for only a few seconds and are
+      never shared — the delayed-write opportunity;
+    - a few files (headers, executables) are re-read over and over.
+
+    {!generate} produces a deterministic operation list from a seed;
+    {!replay} runs it through the system-call layer, recording
+    per-operation-class latency histograms. *)
+
+type config = {
+  operations : int;
+  working_dir : string;
+  hot_files : int;  (** repeatedly re-read files (headers and the like) *)
+  cold_files : int;  (** the long tail *)
+  temp_lifetime : float;  (** seconds between a temp's birth and death *)
+  temp_fraction : float;  (** fraction of ops that create a temporary *)
+  read_fraction : float;  (** of the non-temp ops, how many are reads *)
+  mean_think : float;  (** CPU-bound think time between operations *)
+  small_bytes : int;
+  large_bytes : int;
+  seed : int64;
+}
+
+val default_config : config
+
+type op =
+  | Read_whole of string
+  | Rewrite of string * int  (** truncate + write bytes *)
+  | Stat of string
+  | Temp of string * int  (** create, write, read back, delete *)
+
+val generate : config -> op list
+
+(** Latency histograms per operation class, plus total elapsed time. *)
+type result = {
+  read_lat : Stats.Histogram.t;
+  write_lat : Stats.Histogram.t;
+  stat_lat : Stats.Histogram.t;
+  temp_lat : Stats.Histogram.t;
+  elapsed : float;
+}
+
+(** [setup ctx config] creates the working directory and its files. *)
+val setup : App.t -> config -> unit
+
+val replay : App.t -> config -> op list -> result

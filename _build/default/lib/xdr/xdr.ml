@@ -1,0 +1,139 @@
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let padding len = (4 - (len land 3)) land 3
+
+module Enc = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+
+  let length t = Buffer.length t
+
+  let to_bytes t = Buffer.to_bytes t
+  let to_string t = Buffer.contents t
+
+  let uint32 t v =
+    if v < 0 || v > 0xFFFFFFFF then error "Enc.uint32: %d out of range" v;
+    Buffer.add_char t (Char.chr ((v lsr 24) land 0xFF));
+    Buffer.add_char t (Char.chr ((v lsr 16) land 0xFF));
+    Buffer.add_char t (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char t (Char.chr (v land 0xFF))
+
+  let int32 t v =
+    if v < -0x80000000 || v > 0x7FFFFFFF then
+      error "Enc.int32: %d out of range" v;
+    uint32 t (v land 0xFFFFFFFF)
+
+  let hyper t v =
+    uint32 t (Int64.to_int (Int64.shift_right_logical v 32));
+    uint32 t (Int64.to_int (Int64.logand v 0xFFFFFFFFL))
+
+  let bool t b = uint32 t (if b then 1 else 0)
+
+  let enum t v = int32 t v
+
+  let float64 t f = hyper t (Int64.bits_of_float f)
+
+  let pad t len =
+    for _ = 1 to padding len do
+      Buffer.add_char t '\000'
+    done
+
+  let opaque_fixed t b =
+    Buffer.add_bytes t b;
+    pad t (Bytes.length b)
+
+  let opaque t b =
+    uint32 t (Bytes.length b);
+    opaque_fixed t b
+
+  let string t s =
+    uint32 t (String.length s);
+    Buffer.add_string t s;
+    pad t (String.length s)
+
+  let array t f items =
+    uint32 t (List.length items);
+    List.iter f items
+
+  let option t f = function
+    | None -> bool t false
+    | Some v ->
+        bool t true;
+        f v
+end
+
+module Dec = struct
+  type t = { buf : bytes; mutable pos : int }
+
+  let of_bytes buf = { buf; pos = 0 }
+  let of_string s = of_bytes (Bytes.of_string s)
+  let clone t = { buf = t.buf; pos = t.pos }
+
+  let remaining t = Bytes.length t.buf - t.pos
+
+  let check_done t =
+    if remaining t <> 0 then error "Dec: %d trailing bytes" (remaining t)
+
+  let need t n =
+    if remaining t < n then
+      error "Dec: need %d bytes, have %d" n (remaining t)
+
+  let byte t =
+    let c = Char.code (Bytes.get t.buf t.pos) in
+    t.pos <- t.pos + 1;
+    c
+
+  let uint32 t =
+    need t 4;
+    let a = byte t in
+    let b = byte t in
+    let c = byte t in
+    let d = byte t in
+    (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+  let int32 t =
+    let v = uint32 t in
+    if v > 0x7FFFFFFF then v - 0x100000000 else v
+
+  let hyper t =
+    let hi = uint32 t in
+    let lo = uint32 t in
+    Int64.logor
+      (Int64.shift_left (Int64.of_int hi) 32)
+      (Int64.of_int lo)
+
+  let bool t =
+    match uint32 t with
+    | 0 -> false
+    | 1 -> true
+    | v -> error "Dec.bool: bad discriminant %d" v
+
+  let enum t = int32 t
+
+  let float64 t = Int64.float_of_bits (hyper t)
+
+  let opaque_fixed t n =
+    if n < 0 then error "Dec.opaque_fixed: negative length %d" n;
+    need t (n + padding n);
+    let b = Bytes.sub t.buf t.pos n in
+    t.pos <- t.pos + n + padding n;
+    b
+
+  let opaque t =
+    let n = uint32 t in
+    opaque_fixed t n
+
+  let string t = Bytes.to_string (opaque t)
+
+  let array t f =
+    let n = uint32 t in
+    if n > 0x1000000 then error "Dec.array: implausible length %d" n;
+    (* explicit loop: elements must be decoded left to right *)
+    let rec loop i acc = if i = n then List.rev acc else loop (i + 1) (f t :: acc) in
+    loop 0 []
+
+  let option t f = if bool t then Some (f t) else None
+end

@@ -1,0 +1,80 @@
+(** XDR (RFC 1014 subset) encoding and decoding.
+
+    Every RPC payload in the simulation is really marshalled through
+    this module, so message sizes (and therefore simulated network
+    transmission times) reflect genuine wire formats. All quantities
+    are 4-byte aligned as the standard requires.
+
+    Integers are represented as native OCaml [int]s holding 32-bit
+    values; [hyper] uses [int64]. *)
+
+exception Error of string
+
+module Enc : sig
+  type t
+
+  val create : unit -> t
+
+  (** Encoded length so far, in bytes. *)
+  val length : t -> int
+
+  val to_bytes : t -> bytes
+  val to_string : t -> string
+
+  (** Signed 32-bit integer. Raises {!Error} if out of range. *)
+  val int32 : t -> int -> unit
+
+  (** Unsigned 32-bit integer in [0, 2^32). *)
+  val uint32 : t -> int -> unit
+
+  val hyper : t -> int64 -> unit
+  val bool : t -> bool -> unit
+
+  (** Enums are encoded as signed ints. *)
+  val enum : t -> int -> unit
+
+  val float64 : t -> float -> unit
+
+  (** Fixed-length opaque data (length known from the protocol). *)
+  val opaque_fixed : t -> bytes -> unit
+
+  (** Variable-length opaque data: length word then padded bytes. *)
+  val opaque : t -> bytes -> unit
+
+  val string : t -> string -> unit
+
+  (** Counted array: length word, then each element via [f]. *)
+  val array : t -> ('a -> unit) -> 'a list -> unit
+
+  (** XDR optional ("pointer"): bool discriminant then the value. *)
+  val option : t -> ('a -> unit) -> 'a option -> unit
+end
+
+module Dec : sig
+  type t
+
+  val of_bytes : bytes -> t
+  val of_string : string -> t
+
+  (** Independent cursor over the same bytes, starting at this
+      decoder's current position (peek without consuming). *)
+  val clone : t -> t
+
+  (** Bytes remaining. *)
+  val remaining : t -> int
+
+  (** Raises {!Error} unless fully consumed. *)
+  val check_done : t -> unit
+
+  val int32 : t -> int
+  val uint32 : t -> int
+  val hyper : t -> int64
+  val bool : t -> bool
+  val enum : t -> int
+  val float64 : t -> float
+  val opaque_fixed : t -> int -> bytes
+  val opaque : t -> bytes
+  val string : t -> string
+  val array : t -> (t -> 'a) -> 'a list
+  val option : t -> (t -> 'a) -> 'a option
+end

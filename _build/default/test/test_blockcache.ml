@@ -1,0 +1,323 @@
+(* Tests for the GFS buffer pool: hit/miss behaviour, write policies,
+   flushing, delete cancellation, eviction, and the syncer daemon. *)
+
+let run_sim f =
+  let e = Sim.Engine.create () in
+  let result = ref None in
+  Sim.Engine.spawn e ~name:"test-main" (fun () ->
+      result := Some (f e);
+      (* daemons (syncers etc.) would keep the queue alive forever *)
+      Sim.Engine.stop e);
+  Sim.Engine.run e;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "simulation main process did not complete"
+
+(* A backend with a fixed per-op delay that records everything. *)
+type backend_log = {
+  mutable breads : (int * int) list;
+  mutable bwrites : (int * int * int) list; (* file, index, stamp *)
+  store : (int * int, int * int) Hashtbl.t;
+}
+
+let make_backend ?(delay = 0.01) e =
+  let log = { breads = []; bwrites = []; store = Hashtbl.create 32 } in
+  let backend =
+    {
+      Blockcache.Cache.read_block =
+        (fun ~file ~index ->
+          Sim.Engine.sleep e delay;
+          log.breads <- (file, index) :: log.breads;
+          match Hashtbl.find_opt log.store (file, index) with
+          | Some v -> v
+          | None -> (0, 0));
+      write_block =
+        (fun ~file ~index ~stamp ~len ->
+          Sim.Engine.sleep e delay;
+          log.bwrites <- (file, index, stamp) :: log.bwrites;
+          Hashtbl.replace log.store (file, index) (stamp, len));
+    }
+  in
+  (log, backend)
+
+let make_cache ?(capacity = 16) e backend =
+  Blockcache.Cache.create e ~name:"test" ~capacity_blocks:capacity
+    ~block_size:4096 backend
+
+let test_miss_then_hit () =
+  run_sim (fun e ->
+      let log, backend = make_backend e in
+      Hashtbl.replace log.store (1, 0) (42, 4096);
+      let c = make_cache e backend in
+      let stamp, len = Blockcache.Cache.read c ~file:1 ~index:0 in
+      Alcotest.(check (pair int int)) "fetched" (42, 4096) (stamp, len);
+      Alcotest.(check int) "one miss" 1 (Blockcache.Cache.misses c);
+      let stamp2, _ = Blockcache.Cache.read c ~file:1 ~index:0 in
+      Alcotest.(check int) "hit content" 42 stamp2;
+      Alcotest.(check int) "one hit" 1 (Blockcache.Cache.hits c);
+      Alcotest.(check int) "one backend read" 1 (List.length log.breads))
+
+let test_concurrent_misses_coalesce () =
+  run_sim (fun e ->
+      let log, backend = make_backend ~delay:1.0 e in
+      Hashtbl.replace log.store (1, 0) (7, 4096);
+      let c = make_cache e backend in
+      let results = ref [] in
+      for _ = 1 to 3 do
+        Sim.Engine.spawn e (fun () ->
+            let stamp, _ = Blockcache.Cache.read c ~file:1 ~index:0 in
+            results := stamp :: !results)
+      done;
+      Sim.Engine.sleep e 5.0;
+      Alcotest.(check (list int)) "all got content" [ 7; 7; 7 ] !results;
+      Alcotest.(check int) "single backend read" 1 (List.length log.breads))
+
+let test_delayed_write_stays_dirty () =
+  run_sim (fun e ->
+      let log, backend = make_backend e in
+      let c = make_cache e backend in
+      Blockcache.Cache.write c ~file:1 ~index:0 ~stamp:100 ~len:4096 `Delayed;
+      Alcotest.(check int) "no backend write" 0 (List.length log.bwrites);
+      Alcotest.(check int) "dirty" 1 (Blockcache.Cache.dirty_count c ~file:1);
+      (* read sees the dirty data *)
+      let stamp, _ = Blockcache.Cache.read c ~file:1 ~index:0 in
+      Alcotest.(check int) "read own write" 100 stamp;
+      Blockcache.Cache.flush_file c ~file:1;
+      Alcotest.(check int) "flushed" 1 (List.length log.bwrites);
+      Alcotest.(check int) "clean" 0 (Blockcache.Cache.dirty_count c ~file:1))
+
+let test_sync_write_blocks () =
+  run_sim (fun e ->
+      let log, backend = make_backend ~delay:0.5 e in
+      let c = make_cache e backend in
+      Blockcache.Cache.write c ~file:1 ~index:0 ~stamp:1 ~len:4096 `Sync;
+      Alcotest.(check (float 1e-9)) "waited for disk" 0.5 (Sim.Engine.now e);
+      Alcotest.(check int) "written" 1 (List.length log.bwrites))
+
+let test_async_write_does_not_block () =
+  run_sim (fun e ->
+      let log, backend = make_backend ~delay:0.5 e in
+      let c = make_cache e backend in
+      Blockcache.Cache.write c ~file:1 ~index:0 ~stamp:1 ~len:4096 `Async;
+      Alcotest.(check (float 1e-9)) "returned immediately" 0.0 (Sim.Engine.now e);
+      Alcotest.(check int) "not yet written" 0 (List.length log.bwrites);
+      Blockcache.Cache.wait_pending c ~file:1;
+      Alcotest.(check bool) "write completed" true (List.length log.bwrites = 1);
+      Alcotest.(check (float 1e-9)) "waited for completion" 0.5 (Sim.Engine.now e))
+
+let test_wait_pending_multiple () =
+  run_sim (fun e ->
+      let log, backend = make_backend ~delay:0.25 e in
+      let c = make_cache e backend in
+      for i = 0 to 3 do
+        Blockcache.Cache.write c ~file:1 ~index:i ~stamp:i ~len:4096 `Async
+      done;
+      Blockcache.Cache.wait_pending c ~file:1;
+      Alcotest.(check int) "all written" 4 (List.length log.bwrites))
+
+let test_cancel_dirty_averts_writes () =
+  run_sim (fun e ->
+      let log, backend = make_backend e in
+      let c = make_cache e backend in
+      for i = 0 to 4 do
+        Blockcache.Cache.write c ~file:9 ~index:i ~stamp:i ~len:4096 `Delayed
+      done;
+      let averted = Blockcache.Cache.cancel_dirty c ~file:9 in
+      Alcotest.(check int) "averted" 5 averted;
+      Alcotest.(check int) "stat" 5 (Blockcache.Cache.writes_averted c);
+      Alcotest.(check int) "backend untouched" 0 (List.length log.bwrites);
+      Alcotest.(check bool) "gone" false (Blockcache.Cache.holds_file c ~file:9))
+
+let test_invalidate_rejects_dirty () =
+  run_sim (fun e ->
+      let _, backend = make_backend e in
+      let c = make_cache e backend in
+      Blockcache.Cache.write c ~file:1 ~index:0 ~stamp:1 ~len:4096 `Delayed;
+      Alcotest.check_raises "dirty invalidate"
+        (Invalid_argument "Cache.invalidate_file: file has dirty blocks")
+        (fun () -> Blockcache.Cache.invalidate_file c ~file:1))
+
+let test_invalidate_clean () =
+  run_sim (fun e ->
+      let log, backend = make_backend e in
+      Hashtbl.replace log.store (1, 0) (5, 4096);
+      let c = make_cache e backend in
+      ignore (Blockcache.Cache.read c ~file:1 ~index:0);
+      Blockcache.Cache.invalidate_file c ~file:1;
+      Alcotest.(check bool) "dropped" false (Blockcache.Cache.holds_file c ~file:1);
+      (* re-read misses again *)
+      ignore (Blockcache.Cache.read c ~file:1 ~index:0);
+      Alcotest.(check int) "refetched" 2 (List.length log.breads))
+
+let test_eviction_lru () =
+  run_sim (fun e ->
+      let log, backend = make_backend e in
+      for i = 0 to 9 do
+        Hashtbl.replace log.store (1, i) (i + 100, 4096)
+      done;
+      let c = make_cache ~capacity:4 e backend in
+      (* fill: 0 1 2 3 *)
+      for i = 0 to 3 do
+        ignore (Blockcache.Cache.read c ~file:1 ~index:i)
+      done;
+      (* touch 0 so 1 becomes LRU *)
+      ignore (Blockcache.Cache.read c ~file:1 ~index:0);
+      (* bring in 4: should evict 1 *)
+      ignore (Blockcache.Cache.read c ~file:1 ~index:4);
+      Alcotest.(check int) "evictions" 1 (Blockcache.Cache.evictions c);
+      Alcotest.(check (option (pair int int)))
+        "0 still resident" (Some (100, 4096))
+        (Blockcache.Cache.peek c ~file:1 ~index:0);
+      Alcotest.(check (option (pair int int)))
+        "1 evicted" None
+        (Blockcache.Cache.peek c ~file:1 ~index:1))
+
+let test_eviction_writes_back_dirty () =
+  run_sim (fun e ->
+      let log, backend = make_backend e in
+      let c = make_cache ~capacity:2 e backend in
+      Blockcache.Cache.write c ~file:1 ~index:0 ~stamp:10 ~len:4096 `Delayed;
+      Blockcache.Cache.write c ~file:1 ~index:1 ~stamp:11 ~len:4096 `Delayed;
+      (* inserting a third block forces a dirty eviction *)
+      Blockcache.Cache.write c ~file:1 ~index:2 ~stamp:12 ~len:4096 `Delayed;
+      Alcotest.(check bool) "dirty block written on eviction" true
+        (List.exists (fun (_, i, s) -> i = 0 && s = 10) log.bwrites);
+      (* the data survives: re-reading block 0 fetches it from backend *)
+      let stamp, _ = Blockcache.Cache.read c ~file:1 ~index:0 in
+      Alcotest.(check int) "content preserved" 10 stamp)
+
+let test_syncer_flushes_periodically () =
+  run_sim (fun e ->
+      let log, backend = make_backend e in
+      let c = make_cache e backend in
+      Blockcache.Cache.start_syncer c ~interval:30.0 ();
+      Blockcache.Cache.write c ~file:1 ~index:0 ~stamp:1 ~len:4096 `Delayed;
+      Sim.Engine.sleep e 10.0;
+      Alcotest.(check int) "not flushed yet" 0 (List.length log.bwrites);
+      Sim.Engine.sleep e 25.0;
+      Alcotest.(check int) "flushed by syncer" 1 (List.length log.bwrites))
+
+let test_syncer_min_age () =
+  run_sim (fun e ->
+      let log, backend = make_backend e in
+      let c = make_cache e backend in
+      (* Sprite-style: only blocks older than 30s are written *)
+      Blockcache.Cache.start_syncer c ~min_age:30.0 ~interval:10.0 ();
+      Blockcache.Cache.write c ~file:1 ~index:0 ~stamp:1 ~len:4096 `Delayed;
+      Sim.Engine.sleep e 25.0;
+      Alcotest.(check int) "young block kept" 0 (List.length log.bwrites);
+      Sim.Engine.sleep e 20.0;
+      Alcotest.(check int) "old block flushed" 1 (List.length log.bwrites))
+
+let test_delete_before_syncer_averts () =
+  run_sim (fun e ->
+      let log, backend = make_backend e in
+      let c = make_cache e backend in
+      Blockcache.Cache.start_syncer c ~interval:30.0 ();
+      (* short-lived temporary file: written then deleted within 30s *)
+      for i = 0 to 3 do
+        Blockcache.Cache.write c ~file:7 ~index:i ~stamp:i ~len:4096 `Delayed
+      done;
+      Sim.Engine.sleep e 5.0;
+      ignore (Blockcache.Cache.cancel_dirty c ~file:7);
+      Sim.Engine.sleep e 60.0;
+      Alcotest.(check int) "no backend writes ever" 0 (List.length log.bwrites))
+
+let test_flush_all () =
+  run_sim (fun e ->
+      let log, backend = make_backend e in
+      let c = make_cache e backend in
+      Blockcache.Cache.write c ~file:1 ~index:0 ~stamp:1 ~len:4096 `Delayed;
+      Blockcache.Cache.write c ~file:2 ~index:0 ~stamp:2 ~len:4096 `Delayed;
+      Blockcache.Cache.flush_all c;
+      Alcotest.(check int) "both written" 2 (List.length log.bwrites))
+
+let test_redirty_during_writeback () =
+  run_sim (fun e ->
+      let log, backend = make_backend ~delay:1.0 e in
+      let c = make_cache e backend in
+      Blockcache.Cache.write c ~file:1 ~index:0 ~stamp:1 ~len:4096 `Delayed;
+      Sim.Engine.spawn e (fun () -> Blockcache.Cache.flush_file c ~file:1);
+      (* while the flush is in flight, write again *)
+      Sim.Engine.sleep e 0.5;
+      Blockcache.Cache.write c ~file:1 ~index:0 ~stamp:2 ~len:4096 `Delayed;
+      Sim.Engine.sleep e 5.0;
+      (* final flush writes the new stamp *)
+      Blockcache.Cache.flush_file c ~file:1;
+      Alcotest.(check bool) "latest stamp reached backend" true
+        (List.exists (fun (_, _, s) -> s = 2) log.bwrites);
+      Alcotest.(check int) "clean at end" 0 (Blockcache.Cache.dirty_count c ~file:1))
+
+(* property: runs a random series of operations, then flushes and
+   checks that the backend store matches the latest stamps written *)
+let prop_flush_convergence =
+  QCheck.Test.make ~name:"after quiesce+flush, backend holds latest stamps"
+    ~count:60
+    QCheck.(list (pair (int_bound 3) (int_bound 5)))
+    (fun ops ->
+      run_sim (fun e ->
+          let log, backend = make_backend ~delay:0.001 e in
+          let c = make_cache ~capacity:8 e backend in
+          let latest = Hashtbl.create 16 in
+          let stamp = ref 0 in
+          List.iter
+            (fun (file, index) ->
+              incr stamp;
+              Hashtbl.replace latest (file, index) !stamp;
+              let mode =
+                match !stamp mod 3 with
+                | 0 -> `Delayed
+                | 1 -> `Async
+                | _ -> `Sync
+              in
+              Blockcache.Cache.write c ~file ~index ~stamp:!stamp ~len:4096 mode)
+            ops;
+          Sim.Engine.sleep e 1.0;
+          Blockcache.Cache.flush_all c;
+          Hashtbl.fold
+            (fun key want acc ->
+              acc
+              &&
+              match Hashtbl.find_opt log.store key with
+              | Some (got, _) -> got = want
+              | None -> false)
+            latest true))
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "blockcache"
+    [
+      ( "data path",
+        [
+          Alcotest.test_case "miss then hit" `Quick test_miss_then_hit;
+          Alcotest.test_case "concurrent misses coalesce" `Quick
+            test_concurrent_misses_coalesce;
+          Alcotest.test_case "delayed write" `Quick test_delayed_write_stays_dirty;
+          Alcotest.test_case "sync write blocks" `Quick test_sync_write_blocks;
+          Alcotest.test_case "async write" `Quick test_async_write_does_not_block;
+          Alcotest.test_case "wait_pending" `Quick test_wait_pending_multiple;
+        ] );
+      ( "consistency ops",
+        [
+          Alcotest.test_case "cancel dirty" `Quick test_cancel_dirty_averts_writes;
+          Alcotest.test_case "invalidate rejects dirty" `Quick
+            test_invalidate_rejects_dirty;
+          Alcotest.test_case "invalidate clean" `Quick test_invalidate_clean;
+          Alcotest.test_case "flush all" `Quick test_flush_all;
+          Alcotest.test_case "redirty during writeback" `Quick
+            test_redirty_during_writeback;
+        ] );
+      ( "eviction",
+        [
+          Alcotest.test_case "LRU order" `Quick test_eviction_lru;
+          Alcotest.test_case "dirty eviction writes back" `Quick
+            test_eviction_writes_back_dirty;
+        ] );
+      ( "syncer",
+        [
+          Alcotest.test_case "periodic flush" `Quick test_syncer_flushes_periodically;
+          Alcotest.test_case "min age" `Quick test_syncer_min_age;
+          Alcotest.test_case "delete averts" `Quick test_delete_before_syncer_averts;
+        ] );
+      ("properties", qc [ prop_flush_convergence ]);
+    ]

@@ -1,0 +1,308 @@
+(* Tests for the network model and RPC transport: round trips,
+   timeouts, retransmission, duplicate suppression, callbacks (server
+   calling client), thread pools, and crash behaviour. *)
+
+let run_sim f =
+  let e = Sim.Engine.create () in
+  let result = ref None in
+  Sim.Engine.spawn e ~name:"test-main" (fun () ->
+      result := Some (f e);
+      (* daemons (syncers etc.) would keep the queue alive forever *)
+      Sim.Engine.stop e);
+  Sim.Engine.run e;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "simulation main process did not complete"
+
+let echo_handler ~caller:_ ~proc:_ dec =
+  let s = Xdr.Dec.string dec in
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.string e ("echo:" ^ s);
+  { Netsim.Rpc.data = Xdr.Enc.to_bytes e; bulk = 0 }
+
+let setup e =
+  let net = Netsim.Net.create e () in
+  let rpc = Netsim.Rpc.create net () in
+  let client = Netsim.Net.Host.create net "client" in
+  let server = Netsim.Net.Host.create net "server" in
+  (net, rpc, client, server)
+
+let encode_string s =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.string e s;
+  Xdr.Enc.to_bytes e
+
+let test_basic_call () =
+  run_sim (fun e ->
+      let _, rpc, client, server = setup e in
+      let _svc = Netsim.Rpc.serve rpc server ~prog:"echo" ~threads:2 echo_handler in
+      let reply =
+        Netsim.Rpc.call rpc ~src:client ~dst:server ~prog:"echo" ~proc:"ping"
+          (encode_string "hello")
+      in
+      let d = Xdr.Dec.of_bytes reply in
+      Alcotest.(check string) "reply" "echo:hello" (Xdr.Dec.string d);
+      Alcotest.(check bool) "took some time" true (Sim.Engine.now e > 0.0))
+
+let test_call_counted () =
+  run_sim (fun e ->
+      let _, rpc, client, server = setup e in
+      let svc = Netsim.Rpc.serve rpc server ~prog:"echo" ~threads:2 echo_handler in
+      for _ = 1 to 5 do
+        ignore
+          (Netsim.Rpc.call rpc ~src:client ~dst:server ~prog:"echo" ~proc:"ping"
+             (encode_string "x"))
+      done;
+      ignore
+        (Netsim.Rpc.call rpc ~src:client ~dst:server ~prog:"echo" ~proc:"pong"
+           (encode_string "y"));
+      let c = Netsim.Rpc.counters svc in
+      Alcotest.(check int) "ping count" 5 (Stats.Counter.get c "ping");
+      Alcotest.(check int) "pong count" 1 (Stats.Counter.get c "pong"))
+
+let test_timeout_no_server () =
+  run_sim (fun e ->
+      let _, rpc, client, server = setup e in
+      (* no service registered: client must give up with Timeout *)
+      match
+        Netsim.Rpc.call rpc ~src:client ~dst:server ~prog:"none" ~proc:"x"
+          (encode_string "q")
+      with
+      | _ -> Alcotest.fail "expected timeout"
+      | exception Netsim.Rpc.Timeout { prog; proc } ->
+          Alcotest.(check string) "prog" "none" prog;
+          Alcotest.(check string) "proc" "x" proc;
+          (* the full retry schedule must have elapsed *)
+          Alcotest.(check bool) "waited" true (Sim.Engine.now e >= 31.0))
+
+let test_retransmit_on_loss () =
+  run_sim (fun e ->
+      let net, rpc, client, server = setup e in
+      let svc = Netsim.Rpc.serve rpc server ~prog:"echo" ~threads:2 echo_handler in
+      (* heavy loss: calls still succeed thanks to retransmission (the
+         simulation is deterministic, so this never flakes) *)
+      Netsim.Net.set_drop_probability net 0.25;
+      for i = 1 to 10 do
+        let reply =
+          Netsim.Rpc.call rpc ~src:client ~dst:server ~prog:"echo" ~proc:"ping"
+            (encode_string (string_of_int i))
+        in
+        let d = Xdr.Dec.of_bytes reply in
+        Alcotest.(check string)
+          "reply correct despite loss"
+          ("echo:" ^ string_of_int i)
+          (Xdr.Dec.string d)
+      done;
+      Alcotest.(check bool) "some retransmissions happened" true
+        (Netsim.Rpc.retransmissions rpc > 0);
+      (* duplicate suppression: executions never exceed logical calls *)
+      Alcotest.(check int) "no duplicate execution" 10
+        (Stats.Counter.get (Netsim.Rpc.counters svc) "ping"))
+
+let test_duplicate_execution_suppressed () =
+  run_sim (fun e ->
+      let net, rpc, client, server = setup e in
+      let executions = ref 0 in
+      let slow_handler ~caller:_ ~proc:_ _dec =
+        incr executions;
+        Sim.Engine.sleep e 3.0;
+        (* longer than the first client timeout *)
+        { Netsim.Rpc.data = encode_string "done"; bulk = 0 }
+      in
+      let _svc = Netsim.Rpc.serve rpc server ~prog:"slow" ~threads:2 slow_handler in
+      ignore net;
+      let reply =
+        Netsim.Rpc.call rpc ~src:client ~dst:server ~prog:"slow" ~proc:"op"
+          (encode_string "x")
+      in
+      let d = Xdr.Dec.of_bytes reply in
+      Alcotest.(check string) "got reply" "done" (Xdr.Dec.string d);
+      Alcotest.(check int) "executed once despite retries" 1 !executions)
+
+let test_server_calls_client_back () =
+  run_sim (fun e ->
+      let _, rpc, client, server = setup e in
+      (* the client provides RPC service too, as SNFS requires *)
+      let callback_received = ref false in
+      let _client_svc =
+        Netsim.Rpc.serve rpc client ~prog:"cb" ~threads:2
+          (fun ~caller:_ ~proc:_ _dec ->
+            callback_received := true;
+            { Netsim.Rpc.data = encode_string "ok"; bulk = 0 })
+      in
+      let _server_svc =
+        Netsim.Rpc.serve rpc server ~prog:"main" ~threads:2
+          (fun ~caller ~proc:_ _dec ->
+            (* server calls the client back before replying *)
+            let r =
+              Netsim.Rpc.call rpc ~src:server ~dst:caller ~prog:"cb"
+                ~proc:"invalidate" (encode_string "file-7")
+            in
+            let d = Xdr.Dec.of_bytes r in
+            Alcotest.(check string) "callback reply" "ok" (Xdr.Dec.string d);
+            { Netsim.Rpc.data = encode_string "opened"; bulk = 0 })
+      in
+      let reply =
+        Netsim.Rpc.call rpc ~src:client ~dst:server ~prog:"main" ~proc:"open"
+          (encode_string "file-7")
+      in
+      let d = Xdr.Dec.of_bytes reply in
+      Alcotest.(check string) "final reply" "opened" (Xdr.Dec.string d);
+      Alcotest.(check bool) "callback ran" true !callback_received)
+
+let test_thread_pool_bound () =
+  run_sim (fun e ->
+      let _, rpc, client, server = setup e in
+      let active = ref 0 in
+      let max_active = ref 0 in
+      let handler ~caller:_ ~proc:_ _dec =
+        incr active;
+        max_active := max !max_active !active;
+        Sim.Engine.sleep e 0.5;
+        decr active;
+        { Netsim.Rpc.data = encode_string "ok"; bulk = 0 }
+      in
+      let _svc = Netsim.Rpc.serve rpc server ~prog:"pool" ~threads:3 handler in
+      let done_count = ref 0 in
+      for _ = 1 to 10 do
+        Sim.Engine.spawn e (fun () ->
+            ignore
+              (Netsim.Rpc.call rpc ~src:client ~dst:server ~prog:"pool"
+                 ~proc:"op" (encode_string "x"));
+            incr done_count)
+      done;
+      Sim.Engine.sleep e 30.0;
+      Alcotest.(check int) "all completed" 10 !done_count;
+      Alcotest.(check int) "pool bound respected" 3 !max_active)
+
+let test_crashed_server_times_out () =
+  run_sim (fun e ->
+      let _, rpc, client, server = setup e in
+      let _svc = Netsim.Rpc.serve rpc server ~prog:"echo" ~threads:2 echo_handler in
+      Netsim.Net.Host.crash server;
+      (match
+         Netsim.Rpc.call rpc ~src:client ~dst:server ~prog:"echo" ~proc:"ping"
+           (encode_string "x")
+       with
+      | _ -> Alcotest.fail "expected timeout"
+      | exception Netsim.Rpc.Timeout _ -> ());
+      (* after reboot the server answers again *)
+      Netsim.Net.Host.reboot server;
+      let reply =
+        Netsim.Rpc.call rpc ~src:client ~dst:server ~prog:"echo" ~proc:"ping"
+          (encode_string "back")
+      in
+      let d = Xdr.Dec.of_bytes reply in
+      Alcotest.(check string) "after reboot" "echo:back" (Xdr.Dec.string d))
+
+let test_restart_hook_fires () =
+  run_sim (fun e ->
+      let _, rpc, client, server = setup e in
+      let svc = Netsim.Rpc.serve rpc server ~prog:"echo" ~threads:2 echo_handler in
+      let restarted = ref 0 in
+      Netsim.Rpc.set_on_restart svc (fun () -> incr restarted);
+      ignore
+        (Netsim.Rpc.call rpc ~src:client ~dst:server ~prog:"echo" ~proc:"a"
+           (encode_string "1"));
+      Alcotest.(check int) "no restart yet" 0 !restarted;
+      Netsim.Net.Host.crash server;
+      Netsim.Net.Host.reboot server;
+      ignore
+        (Netsim.Rpc.call rpc ~src:client ~dst:server ~prog:"echo" ~proc:"b"
+           (encode_string "2"));
+      Alcotest.(check int) "restart observed" 1 !restarted)
+
+let test_bigger_messages_slower () =
+  let time_for bulk =
+    run_sim (fun e ->
+        let _, rpc, client, server = setup e in
+        let _svc =
+          Netsim.Rpc.serve rpc server ~prog:"x" ~threads:2
+            (fun ~caller:_ ~proc:_ _ ->
+              { Netsim.Rpc.data = Bytes.create 16; bulk = 0 })
+        in
+        ignore
+          (Netsim.Rpc.call rpc ~src:client ~dst:server ~prog:"x" ~proc:"w"
+             ~bulk (Bytes.create 32));
+        Sim.Engine.now e)
+  in
+  let small = time_for 0 in
+  let big = time_for 8192 in
+  Alcotest.(check bool)
+    (Printf.sprintf "8k write slower than empty (%.6f vs %.6f)" big small)
+    true (big > small +. 0.004)
+
+let test_host_utilization_accrues () =
+  run_sim (fun e ->
+      let _, rpc, client, server = setup e in
+      let _svc = Netsim.Rpc.serve rpc server ~prog:"echo" ~threads:2 echo_handler in
+      for _ = 1 to 20 do
+        ignore
+          (Netsim.Rpc.call rpc ~src:client ~dst:server ~prog:"echo" ~proc:"p"
+             (encode_string "data"))
+      done;
+      let busy = Sim.Resource.busy_time (Netsim.Net.Host.cpu server) in
+      Alcotest.(check bool) "server cpu charged" true (busy > 0.0))
+
+let test_partition_and_heal () =
+  run_sim (fun e ->
+      let net, rpc, client, server = setup e in
+      let _svc = Netsim.Rpc.serve rpc server ~prog:"echo" ~threads:2 echo_handler in
+      Netsim.Net.partition net client server;
+      Alcotest.(check bool) "partitioned" true
+        (Netsim.Net.partitioned net client server);
+      (match
+         Netsim.Rpc.call rpc ~src:client ~dst:server ~prog:"echo" ~proc:"p"
+           (encode_string "x")
+       with
+      | _ -> Alcotest.fail "expected timeout across partition"
+      | exception Netsim.Rpc.Timeout _ -> ());
+      Netsim.Net.heal net client server;
+      Alcotest.(check bool) "healed" false
+        (Netsim.Net.partitioned net client server);
+      let reply =
+        Netsim.Rpc.call rpc ~src:client ~dst:server ~prog:"echo" ~proc:"p"
+          (encode_string "again")
+      in
+      let d = Xdr.Dec.of_bytes reply in
+      Alcotest.(check string) "works after heal" "echo:again" (Xdr.Dec.string d))
+
+let test_partition_is_directional_pairwise () =
+  run_sim (fun e ->
+      let net, rpc, client, server = setup e in
+      let third = Netsim.Net.Host.create net "third" in
+      let _svc = Netsim.Rpc.serve rpc server ~prog:"echo" ~threads:2 echo_handler in
+      Netsim.Net.partition net client server;
+      (* an unrelated host still reaches the server *)
+      let reply =
+        Netsim.Rpc.call rpc ~src:third ~dst:server ~prog:"echo" ~proc:"p"
+          (encode_string "ok")
+      in
+      let d = Xdr.Dec.of_bytes reply in
+      Alcotest.(check string) "third unaffected" "echo:ok" (Xdr.Dec.string d))
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "rpc",
+        [
+          Alcotest.test_case "basic call" `Quick test_basic_call;
+          Alcotest.test_case "calls counted" `Quick test_call_counted;
+          Alcotest.test_case "timeout" `Quick test_timeout_no_server;
+          Alcotest.test_case "retransmit on loss" `Quick test_retransmit_on_loss;
+          Alcotest.test_case "duplicate suppressed" `Quick
+            test_duplicate_execution_suppressed;
+          Alcotest.test_case "server->client callback" `Quick
+            test_server_calls_client_back;
+          Alcotest.test_case "thread pool bound" `Quick test_thread_pool_bound;
+          Alcotest.test_case "crashed server" `Quick test_crashed_server_times_out;
+          Alcotest.test_case "restart hook" `Quick test_restart_hook_fires;
+          Alcotest.test_case "message size matters" `Quick
+            test_bigger_messages_slower;
+          Alcotest.test_case "cpu utilization" `Quick
+            test_host_utilization_accrues;
+          Alcotest.test_case "partition and heal" `Quick test_partition_and_heal;
+          Alcotest.test_case "partition pairwise" `Quick
+            test_partition_is_directional_pairwise;
+        ] );
+    ]

@@ -1,0 +1,214 @@
+(* Tests for the XDR encoder/decoder: round trips, alignment, and
+   malformed-input handling. *)
+
+let roundtrip enc_fn dec_fn v =
+  let e = Xdr.Enc.create () in
+  enc_fn e v;
+  let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+  let v' = dec_fn d in
+  Xdr.Dec.check_done d;
+  v'
+
+let test_int32_roundtrip () =
+  List.iter
+    (fun v ->
+      Alcotest.(check int)
+        (Printf.sprintf "int %d" v)
+        v
+        (roundtrip Xdr.Enc.int32 Xdr.Dec.int32 v))
+    [ 0; 1; -1; 42; -42; 0x7FFFFFFF; -0x80000000 ]
+
+let test_int32_range_check () =
+  let e = Xdr.Enc.create () in
+  Alcotest.check_raises "too big" (Xdr.Error "Enc.int32: 2147483648 out of range")
+    (fun () -> Xdr.Enc.int32 e 0x80000000)
+
+let test_uint32_roundtrip () =
+  List.iter
+    (fun v ->
+      Alcotest.(check int)
+        (Printf.sprintf "uint %d" v)
+        v
+        (roundtrip Xdr.Enc.uint32 Xdr.Dec.uint32 v))
+    [ 0; 1; 0x7FFFFFFF; 0xFFFFFFFF ]
+
+let test_hyper_roundtrip () =
+  List.iter
+    (fun v ->
+      Alcotest.(check int64)
+        (Printf.sprintf "hyper %Ld" v)
+        v
+        (roundtrip Xdr.Enc.hyper Xdr.Dec.hyper v))
+    [ 0L; 1L; -1L; Int64.max_int; Int64.min_int; 0xDEADBEEF12345678L ]
+
+let test_bool_roundtrip () =
+  Alcotest.(check bool) "true" true (roundtrip Xdr.Enc.bool Xdr.Dec.bool true);
+  Alcotest.(check bool) "false" false (roundtrip Xdr.Enc.bool Xdr.Dec.bool false)
+
+let test_bool_bad_discriminant () =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.uint32 e 7;
+  let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+  Alcotest.check_raises "bad bool" (Xdr.Error "Dec.bool: bad discriminant 7")
+    (fun () -> ignore (Xdr.Dec.bool d))
+
+let test_float64_roundtrip () =
+  List.iter
+    (fun v ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "float %g" v)
+        v
+        (roundtrip Xdr.Enc.float64 Xdr.Dec.float64 v))
+    [ 0.0; 1.5; -3.25; 1e300; Float.min_float ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string)
+        (Printf.sprintf "string %S" s)
+        s
+        (roundtrip Xdr.Enc.string Xdr.Dec.string s))
+    [ ""; "a"; "ab"; "abc"; "abcd"; "hello world"; String.make 100 'x' ]
+
+let test_string_alignment () =
+  (* encoded length is always a multiple of 4 *)
+  List.iter
+    (fun s ->
+      let e = Xdr.Enc.create () in
+      Xdr.Enc.string e s;
+      Alcotest.(check int)
+        (Printf.sprintf "aligned %S" s)
+        0
+        (Xdr.Enc.length e mod 4))
+    [ ""; "a"; "ab"; "abc"; "abcd"; "abcde" ]
+
+let test_opaque_roundtrip () =
+  let b = Bytes.of_string "\x00\x01\x02\xFF\xFE" in
+  let b' = roundtrip Xdr.Enc.opaque Xdr.Dec.opaque b in
+  Alcotest.(check string) "opaque" (Bytes.to_string b) (Bytes.to_string b')
+
+let test_opaque_fixed_roundtrip () =
+  let b = Bytes.of_string "1234567" in
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.opaque_fixed e b;
+  Alcotest.(check int) "padded" 8 (Xdr.Enc.length e);
+  let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+  let b' = Xdr.Dec.opaque_fixed d 7 in
+  Xdr.Dec.check_done d;
+  Alcotest.(check string) "content" "1234567" (Bytes.to_string b')
+
+let test_array_roundtrip () =
+  let items = [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.array e (Xdr.Enc.int32 e) items;
+  let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+  let items' = Xdr.Dec.array d Xdr.Dec.int32 in
+  Xdr.Dec.check_done d;
+  Alcotest.(check (list int)) "array" items items'
+
+let test_option_roundtrip () =
+  let enc e v = Xdr.Enc.option e (Xdr.Enc.string e) v in
+  let dec d = Xdr.Dec.option d Xdr.Dec.string in
+  Alcotest.(check (option string)) "some" (Some "hi") (roundtrip enc dec (Some "hi"));
+  Alcotest.(check (option string)) "none" None (roundtrip enc dec None)
+
+let test_mixed_structure () =
+  (* a record-like compound encodes and decodes field by field *)
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.uint32 e 99;
+  Xdr.Enc.string e "filename.c";
+  Xdr.Enc.bool e true;
+  Xdr.Enc.hyper e 123456789L;
+  Xdr.Enc.array e (Xdr.Enc.int32 e) [ 1; 2; 3 ];
+  let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+  Alcotest.(check int) "f1" 99 (Xdr.Dec.uint32 d);
+  Alcotest.(check string) "f2" "filename.c" (Xdr.Dec.string d);
+  Alcotest.(check bool) "f3" true (Xdr.Dec.bool d);
+  Alcotest.(check int64) "f4" 123456789L (Xdr.Dec.hyper d);
+  Alcotest.(check (list int)) "f5" [ 1; 2; 3 ] (Xdr.Dec.array d Xdr.Dec.int32);
+  Xdr.Dec.check_done d
+
+let test_truncated_input () =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.uint32 e 5; (* string length 5 but no bytes follow *)
+  let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+  match Xdr.Dec.string d with
+  | _ -> Alcotest.fail "should raise"
+  | exception Xdr.Error _ -> ()
+
+let test_trailing_bytes_detected () =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.uint32 e 1;
+  Xdr.Enc.uint32 e 2;
+  let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+  ignore (Xdr.Dec.uint32 d);
+  match Xdr.Dec.check_done d with
+  | () -> Alcotest.fail "should detect trailing bytes"
+  | exception Xdr.Error _ -> ()
+
+(* ---- properties ---- *)
+
+let prop_int32 =
+  QCheck.Test.make ~name:"int32 round trip" ~count:500
+    (QCheck.int_range (-0x80000000) 0x7FFFFFFF)
+    (fun v -> roundtrip Xdr.Enc.int32 Xdr.Dec.int32 v = v)
+
+let prop_hyper =
+  QCheck.Test.make ~name:"hyper round trip" ~count:500 QCheck.int64 (fun v ->
+      roundtrip Xdr.Enc.hyper Xdr.Dec.hyper v = v)
+
+let prop_string =
+  QCheck.Test.make ~name:"string round trip" ~count:500 QCheck.string (fun s ->
+      roundtrip Xdr.Enc.string Xdr.Dec.string s = s)
+
+let prop_string_aligned =
+  QCheck.Test.make ~name:"string encoding 4-byte aligned" ~count:500
+    QCheck.string (fun s ->
+      let e = Xdr.Enc.create () in
+      Xdr.Enc.string e s;
+      Xdr.Enc.length e mod 4 = 0)
+
+let prop_int_list =
+  QCheck.Test.make ~name:"int array round trip" ~count:200
+    QCheck.(list (int_range (-1000) 1000))
+    (fun items ->
+      let e = Xdr.Enc.create () in
+      Xdr.Enc.array e (Xdr.Enc.int32 e) items;
+      let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+      let items' = Xdr.Dec.array d Xdr.Dec.int32 in
+      Xdr.Dec.check_done d;
+      items = items')
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "xdr"
+    [
+      ( "scalars",
+        [
+          Alcotest.test_case "int32" `Quick test_int32_roundtrip;
+          Alcotest.test_case "int32 range" `Quick test_int32_range_check;
+          Alcotest.test_case "uint32" `Quick test_uint32_roundtrip;
+          Alcotest.test_case "hyper" `Quick test_hyper_roundtrip;
+          Alcotest.test_case "bool" `Quick test_bool_roundtrip;
+          Alcotest.test_case "bad bool" `Quick test_bool_bad_discriminant;
+          Alcotest.test_case "float64" `Quick test_float64_roundtrip;
+        ] );
+      ( "aggregates",
+        [
+          Alcotest.test_case "string" `Quick test_string_roundtrip;
+          Alcotest.test_case "string alignment" `Quick test_string_alignment;
+          Alcotest.test_case "opaque" `Quick test_opaque_roundtrip;
+          Alcotest.test_case "opaque fixed" `Quick test_opaque_fixed_roundtrip;
+          Alcotest.test_case "array" `Quick test_array_roundtrip;
+          Alcotest.test_case "option" `Quick test_option_roundtrip;
+          Alcotest.test_case "mixed structure" `Quick test_mixed_structure;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "truncated" `Quick test_truncated_input;
+          Alcotest.test_case "trailing bytes" `Quick test_trailing_bytes_detected;
+        ] );
+      ( "properties",
+        qc [ prop_int32; prop_hyper; prop_string; prop_string_aligned; prop_int_list ]
+      );
+    ]
