@@ -41,6 +41,33 @@ let reproduce () =
       print_newline ())
     tables
 
+(* ---- part 1b: per-procedure latency ---- *)
+
+(* where the time goes: one traced SNFS Andrew run, rendered as the
+   per-procedure round-trip percentile table *)
+let latency_section () =
+  print_endline
+    "=====================================================================";
+  print_endline " Latency: RPC round-trip percentiles, SNFS Andrew run";
+  print_endline
+    "=====================================================================\n";
+  let latencies =
+    Experiments.Driver.run (fun engine ->
+        let tb =
+          Experiments.Testbed.create engine
+            ~protocol:
+              (Experiments.Testbed.Snfs_proto Snfs.Snfs_client.default_config)
+            ~tmp:Experiments.Testbed.Tmp_remote ()
+        in
+        let ctx = Experiments.Testbed.ctx tb in
+        let config = Workload.Andrew.default_config in
+        let tree = Workload.Andrew.setup ctx config in
+        ignore (Workload.Andrew.run ctx config tree);
+        Netsim.Rpc.latencies (Experiments.Testbed.rpc tb))
+  in
+  print_string (Obs.Latency.table latencies);
+  print_newline ()
+
 (* ---- part 2: Bechamel ---- *)
 
 (* one Test.make per table: the workload is the entire simulated
@@ -224,6 +251,7 @@ let run_bechamel tests =
 
 let () =
   reproduce ();
+  latency_section ();
   print_endline
     "=====================================================================";
   print_endline " Bechamel microbenchmarks (host-CPU cost, not simulated time)";

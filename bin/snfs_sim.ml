@@ -90,19 +90,54 @@ let update_arg =
   let doc = "Disable the periodic /etc/update write-back daemon." in
   Arg.(value & flag & info [ "no-update" ] ~doc)
 
-let andrew_cmd =
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event JSON file of the run to $(docv); load it \
+     in ui.perfetto.dev or chrome://tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let latency_arg =
+  let doc = "Print the per-procedure RPC round-trip latency table." in
+  Arg.(value & flag & info [ "latency-table" ] ~doc)
+
+let with_observability ~trace_file ~latency_table f =
+  (* open the output before the (possibly long) run so a bad path fails
+     in milliseconds, not after the whole simulation *)
+  let sink =
+    Option.map
+      (fun path ->
+        match open_out path with
+        | oc -> (path, oc)
+        | exception Sys_error msg ->
+            Printf.eprintf "snfs_sim: cannot write trace file: %s\n" msg;
+            exit 1)
+      trace_file
+  in
+  let tracer = Option.map (fun _ -> Obs.Trace.create ()) sink in
+  let latencies = f ?trace:tracer () in
+  (match (tracer, sink) with
+  | Some tr, Some (path, oc) ->
+      output_string oc (Obs.Chrome.to_string tr);
+      close_out oc;
+      Printf.printf "trace: %d events -> %s\n" (Obs.Trace.count tr) path
+  | _ -> ());
+  if latency_table then print_string (Obs.Latency.table latencies)
+
+let andrew_cmd, andrew_term =
   let tmp_arg =
     let doc = "Where /tmp lives: local or remote." in
     Arg.(value & opt string "remote" & info [ "tmp" ] ~docv:"WHERE" ~doc)
   in
-  let run protocol tmp no_update =
+  let run protocol tmp no_update trace_file latency_table =
     let tmp =
       match tmp with
       | "local" -> Experiments.Testbed.Tmp_local
       | _ -> Experiments.Testbed.Tmp_remote
     in
-    let result =
-      Experiments.Driver.run (fun engine ->
+    with_observability ~trace_file ~latency_table @@ fun ?trace () ->
+    let phases, counts, latencies =
+      Experiments.Driver.run ?trace (fun engine ->
           let tb =
             Experiments.Testbed.create engine ~protocol ~tmp
               ~update_interval:(if no_update then None else Some 30.0)
@@ -117,9 +152,8 @@ let andrew_cmd =
           let counts =
             Stats.Counter.diff (Experiments.Testbed.rpc_counts tb) before
           in
-          (phases, counts))
+          (phases, counts, Netsim.Rpc.latencies (Experiments.Testbed.rpc tb)))
     in
-    let phases, counts = result in
     Printf.printf
       "Andrew (%s): MakeDir %.1f  Copy %.1f  ScanDir %.1f  ReadAll %.1f  \
        Make %.1f  Total %.1f\n"
@@ -130,20 +164,25 @@ let andrew_cmd =
       (Workload.Andrew.total phases);
     List.iter
       (fun (name, n) -> Printf.printf "  %-10s %6d\n" name n)
-      (Stats.Counter.to_list counts)
+      (Stats.Counter.to_list counts);
+    latencies
   in
-  Cmd.v
-    (Cmd.info "andrew" ~doc:"Run the Andrew benchmark once.")
-    Term.(const run $ protocol_arg $ tmp_arg $ update_arg)
+  let term =
+    Term.(
+      const run $ protocol_arg $ tmp_arg $ update_arg $ trace_arg
+      $ latency_arg)
+  in
+  (Cmd.v (Cmd.info "andrew" ~doc:"Run the Andrew benchmark once.") term, term)
 
 let sort_cmd =
   let size_arg =
     let doc = "Input size in kilobytes." in
     Arg.(value & opt int 2816 & info [ "input-kb" ] ~docv:"KB" ~doc)
   in
-  let run protocol input_kb no_update =
+  let run protocol input_kb no_update trace_file latency_table =
+    with_observability ~trace_file ~latency_table @@ fun ?trace () ->
     let r =
-      Experiments.Sort_exp.run_sort ~protocol
+      Experiments.Sort_exp.run_sort ?trace ~protocol
         ~update:(if no_update then None else Some 30.0)
         ~input_kb
         ~label:(Experiments.Testbed.protocol_name protocol)
@@ -156,11 +195,14 @@ let sort_cmd =
       r.Experiments.Sort_exp.client_busy;
     List.iter
       (fun (name, n) -> Printf.printf "  %-10s %6d\n" name n)
-      (Stats.Counter.to_list r.Experiments.Sort_exp.counts)
+      (Stats.Counter.to_list r.Experiments.Sort_exp.counts);
+    r.Experiments.Sort_exp.latencies
   in
   Cmd.v
     (Cmd.info "sort" ~doc:"Run the external-sort benchmark once.")
-    Term.(const run $ protocol_arg $ size_arg $ update_arg)
+    Term.(
+      const run $ protocol_arg $ size_arg $ update_arg $ trace_arg
+      $ latency_arg)
 
 let sharing_cmd =
   let run () = print_string (Experiments.Sharing_exp.table ()) in
@@ -195,7 +237,9 @@ let scaling_cmd =
     Term.(const run $ const ())
 
 let main =
-  Cmd.group
+  (* andrew is the default command: `snfs_sim --trace out.json` traces
+     one Andrew run without naming a subcommand *)
+  Cmd.group ~default:andrew_term
     (Cmd.info "snfs_sim" ~version:"1.0"
        ~doc:
          "Spritely NFS reproduction: regenerate the tables and figures of \

@@ -70,6 +70,18 @@ let writes_averted t = t.writes_averted
 let evictions t = t.evictions
 let resident_blocks t = t.count
 
+(* One instant per cache action on this cache's own track. Args carry
+   the block's (file, index) address only — never its stamp, which is a
+   process-global counter and would break trace determinism across runs
+   in one process. *)
+let cache_event t name ~file ~index =
+  if Obs.Trace.on () then
+    Obs.Trace.instant
+      ~ts:(Sim.Engine.now t.engine)
+      ~cat:"cache" ~name ~track:t.name
+      ~args:[ ("file", Obs.Trace.Int file); ("index", Obs.Trace.Int index) ]
+      ()
+
 (* ---- LRU list ---- *)
 
 let lru_unlink t b =
@@ -162,6 +174,7 @@ let rec do_writeback t b =
       let st = Writing { redirtied = None } in
       b.w <- st;
       t.writebacks <- t.writebacks + 1;
+      cache_event t "writeback" ~file:b.bfile ~index:b.bindex;
       t.backend.write_block ~file:b.bfile ~index:b.bindex ~stamp:b.stamp
         ~len:b.len;
       (match st with
@@ -202,6 +215,7 @@ let rec ensure_capacity t =
         (match find t ~file:b.bfile ~index:b.bindex with
         | Some b' when b' == b && evictable b && b.w = Clean ->
             t.evictions <- t.evictions + 1;
+            cache_event t "evict" ~file:b.bfile ~index:b.bindex;
             table_remove t b
         | _ -> ());
         ensure_capacity t
@@ -265,6 +279,7 @@ let new_block ~file ~index =
 let read t ~file ~index =
   match find t ~file ~index with
   | Some b -> (
+      cache_event t "hit" ~file ~index;
       match b.fetching with
       | Some iv ->
           t.hits <- t.hits + 1;
@@ -275,6 +290,7 @@ let read t ~file ~index =
           (b.stamp, b.len))
   | None ->
       t.misses <- t.misses + 1;
+      cache_event t "miss" ~file ~index;
       ensure_capacity t;
       (* recheck: someone may have inserted it while we evicted *)
       (match find t ~file ~index with

@@ -1,10 +1,15 @@
-let run f =
+let run ?trace f =
   let engine = Sim.Engine.create () in
   let result = ref None in
   Sim.Engine.spawn engine ~name:"experiment" (fun () ->
       result := Some (f engine);
       Sim.Engine.stop engine);
-  Sim.Engine.run engine;
-  match !result with
-  | Some v -> v
-  | None -> failwith "Driver.run: experiment did not complete"
+  let go () =
+    Sim.Engine.run engine;
+    match !result with
+    | Some v -> v
+    | None -> failwith "Driver.run: experiment did not complete"
+  in
+  match trace with
+  | None -> go ()
+  | Some tr -> Obs.Trace.with_tracer tr go

@@ -3,6 +3,11 @@
     [run f] creates an engine, executes [f] as the initial simulation
     process (so it may block on I/O), stops the engine when [f]
     returns (background daemons would otherwise keep it alive forever),
-    and returns [f]'s result. *)
+    and returns [f]'s result.
 
-val run : (Sim.Engine.t -> 'a) -> 'a
+    With [?trace], the tracer is installed for the duration of the run
+    (and uninstalled afterwards, even on exception): every instrumented
+    layer — rpc, net, caches, protocol clients and servers — appends
+    its events to it. *)
+
+val run : ?trace:Obs.Trace.t -> (Sim.Engine.t -> 'a) -> 'a

@@ -4,6 +4,7 @@ type run_result = {
   temp_bytes : int;
   counts : Stats.Counter.t;
   client_busy : float;
+  latencies : Obs.Latency.t;
 }
 
 let sort_config ~input_kb =
@@ -12,8 +13,8 @@ let sort_config ~input_kb =
     input_bytes = input_kb * 1024;
   }
 
-let run_sort ~protocol ?(update = Some 30.0) ~input_kb ~label () =
-  Driver.run (fun engine ->
+let run_sort ?trace ~protocol ?(update = Some 30.0) ~input_kb ~label () =
+  Driver.run ?trace (fun engine ->
       let tb =
         Testbed.create engine ~protocol ~tmp:Testbed.Tmp_remote
           ~update_interval:update ()
@@ -45,6 +46,7 @@ let run_sort ~protocol ?(update = Some 30.0) ~input_kb ~label () =
         temp_bytes = result.Workload.Sort_workload.temp_bytes_written;
         counts;
         client_busy;
+        latencies = Netsim.Rpc.latencies (Testbed.rpc tb);
       })
 
 let protocols () =

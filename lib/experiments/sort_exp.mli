@@ -6,11 +6,14 @@ type run_result = {
   temp_bytes : int;
   counts : Stats.Counter.t;
   client_busy : float;  (** client CPU busy seconds during the run *)
+  latencies : Obs.Latency.t;  (** per-procedure RPC round-trip times *)
 }
 
 (** Run the sort once: [input_kb] of input, temporaries on the given
-    protocol's /usr_tmp. [update] is the /etc/update interval option. *)
+    protocol's /usr_tmp. [update] is the /etc/update interval option.
+    [trace] installs a tracer for the duration of the run. *)
 val run_sort :
+  ?trace:Obs.Trace.t ->
   protocol:Testbed.protocol ->
   ?update:float option ->
   input_kb:int ->

@@ -20,6 +20,7 @@ type t = {
   server_host : Netsim.Net.Host.t;
   server_disk : Diskm.Disk.t;
   client_disk : Diskm.Disk.t;
+  rpc : Netsim.Rpc.t;
   service : Netsim.Rpc.service option;
   protocol_cache : Blockcache.Cache.t option;
   ctx : Workload.App.t;
@@ -141,6 +142,7 @@ let create engine ~protocol ~tmp ?(update_interval = Some 30.0)
     server_host;
     server_disk;
     client_disk;
+    rpc;
     service;
     protocol_cache;
     ctx;
@@ -153,6 +155,7 @@ let client_host t = t.client_host
 let server_host t = t.server_host
 let server_disk t = t.server_disk
 let service t = t.service
+let rpc t = t.rpc
 
 let rpc_counts t =
   match t.service with

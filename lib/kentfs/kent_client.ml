@@ -35,6 +35,14 @@ let gnode t ino =
   | Some g -> g
   | None -> invalid_arg "Kent_client: unknown gnode"
 
+let proto_event t name args =
+  if Obs.Trace.on () then
+    Obs.Trace.instant
+      ~ts:(Sim.Engine.now t.engine)
+      ~cat:"kent" ~name
+      ~track:(Netsim.Net.Host.name t.client)
+      ~args ()
+
 let fh_of t (g : gnode) =
   { Nfs.Wire.fsid = t.root.Nfs.Wire.fsid; ino = g.g_ino; gen = g.g_gen }
 
@@ -67,6 +75,8 @@ let vn_of t (g : gnode) =
 let acquire t g ~index ~len =
   if not (Hashtbl.mem g.owned index) then begin
     t.acquires <- t.acquires + 1;
+    proto_event t "acquire"
+      [ ("ino", Obs.Trace.Int g.g_ino); ("index", Obs.Trace.Int index) ];
     let e = Xdr.Enc.create () in
     Nfs.Wire.enc_fh e (fh_of t g);
     Xdr.Enc.uint32 e index;
@@ -203,6 +213,13 @@ let handle_callback t dec =
   let invalidate = Xdr.Dec.bool dec in
   let ino = fh.Nfs.Wire.ino in
   t.callbacks_served <- t.callbacks_served + 1;
+  proto_event t "callback"
+    [
+      ("ino", Obs.Trace.Int ino);
+      ("index", Obs.Trace.Int index);
+      ("writeback", Obs.Trace.Bool writeback);
+      ("invalidate", Obs.Trace.Bool invalidate);
+    ];
   if Sys.getenv_opt "KENT_DEBUG" <> None then
     Printf.eprintf "[kent %s] t=%.2f CB ino=%d idx=%d wb=%b inv=%b gnode=%b\n%!"
       (Netsim.Net.Host.name t.client)

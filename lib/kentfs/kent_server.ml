@@ -56,6 +56,20 @@ let block_callback t ~ino ~index ~target ~writeback ~invalidate =
   Xdr.Enc.bool e invalidate;
   if invalidate then t.invalidations <- t.invalidations + 1;
   if writeback then t.recalls <- t.recalls + 1;
+  if Obs.Trace.on () then
+    Obs.Trace.instant
+      ~ts:(Sim.Engine.now (Netsim.Net.engine (Netsim.Rpc.net t.rpc)))
+      ~cat:"kent"
+      ~name:(if writeback then "recall" else "invalidate_send")
+      ~track:(Netsim.Net.Host.name t.host)
+      ~args:
+        [
+          ("ino", Obs.Trace.Int ino);
+          ("index", Obs.Trace.Int index);
+          ("to", Obs.Trace.Str (Netsim.Net.Host.name host));
+          ("invalidate", Obs.Trace.Bool invalidate);
+        ]
+      ();
   (* hold a callback token while waiting on the client, so at least one
      server thread stays free for the write-back it may provoke *)
   Sim.Semaphore.with_unit t.callback_tokens @@ fun () ->

@@ -111,10 +111,25 @@ let pair a b = if a.haddr <= b.haddr then (a.haddr, b.haddr) else (b.haddr, a.ha
 
 let partitioned t a b = List.mem (pair a b) t.partitions
 
-let partition t a b =
-  if not (partitioned t a b) then t.partitions <- pair a b :: t.partitions
+let partition_event t name a b =
+  if Obs.Trace.on () then
+    Obs.Trace.instant ~ts:(Sim.Engine.now t.engine) ~cat:"net" ~name
+      ~track:"net"
+      ~args:
+        [ ("a", Obs.Trace.Str a.hname); ("b", Obs.Trace.Str b.hname) ]
+      ()
 
-let heal t a b = t.partitions <- List.filter (fun p -> p <> pair a b) t.partitions
+let partition t a b =
+  if not (partitioned t a b) then begin
+    t.partitions <- pair a b :: t.partitions;
+    partition_event t "partition" a b
+  end
+
+let heal t a b =
+  if partitioned t a b then begin
+    t.partitions <- List.filter (fun p -> p <> pair a b) t.partitions;
+    partition_event t "heal" a b
+  end
 
 let send t ~src ~dst ~bytes ~deliver =
   if bytes < 0 then invalid_arg "Net.send: negative size";
@@ -127,6 +142,13 @@ let send t ~src ~dst ~bytes ~deliver =
       partitioned t src dst
       || (t.drop_prob > 0.0 && Sim.Rand.float t.rand < t.drop_prob)
     in
+    if Obs.Trace.on () then
+      Obs.Trace.instant ~ts:(Sim.Engine.now t.engine) ~cat:"net" ~name:"send"
+        ~track:src.hname
+        ~args:
+          [ ("dst", Obs.Trace.Str dst.hname);
+            ("bytes", Obs.Trace.Int wire_bytes) ]
+        ();
     Sim.Engine.spawn t.engine ~name:"net.msg" (fun () ->
         (* transmission occupies the shared medium *)
         Sim.Resource.use t.medium
@@ -138,6 +160,16 @@ let send t ~src ~dst ~bytes ~deliver =
               else 0.0)
         in
         Sim.Engine.sleep t.engine delay;
-        if dropped then t.messages_dropped <- t.messages_dropped + 1
+        if dropped then begin
+          t.messages_dropped <- t.messages_dropped + 1;
+          if Obs.Trace.on () then
+            Obs.Trace.instant ~ts:(Sim.Engine.now t.engine) ~cat:"net"
+              ~name:"drop" ~track:"net"
+              ~args:
+                [ ("src", Obs.Trace.Str src.hname);
+                  ("dst", Obs.Trace.Str dst.hname);
+                  ("bytes", Obs.Trace.Int wire_bytes) ]
+              ()
+        end
         else if dst.hup then deliver ())
   end

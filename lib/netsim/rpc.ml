@@ -32,6 +32,8 @@ type service = {
   pool : Sim.Semaphore.t;
   dup_cache : (int * int, dup_entry) Hashtbl.t; (* (caller addr, xid) *)
   counts : Stats.Counter.t;
+  mutable executed : int; (* calls actually run (duplicates suppressed) *)
+  mutable duplicates : int; (* retransmissions absorbed by the dup cache *)
   mutable observer : (proc:string -> unit) option;
   mutable on_restart : (unit -> unit) option;
   mutable epoch_seen : int;
@@ -41,16 +43,25 @@ type t = {
   net : Net.t;
   config : config;
   services : (int * string, service) Hashtbl.t; (* (host addr, prog) *)
+  latencies : Obs.Latency.t;
   mutable next_xid : int;
   mutable retransmissions : int;
 }
 
 let create net ?(config = default_config) () =
-  { net; config; services = Hashtbl.create 8; next_xid = 1; retransmissions = 0 }
+  {
+    net;
+    config;
+    services = Hashtbl.create 8;
+    latencies = Obs.Latency.create ();
+    next_xid = 1;
+    retransmissions = 0;
+  }
 
 let net t = t.net
 let config t = t.config
 let retransmissions t = t.retransmissions
+let latencies t = t.latencies
 
 let serve t host ~prog ~threads handler =
   let key = (Net.Host.addr host, prog) in
@@ -67,6 +78,8 @@ let serve t host ~prog ~threads handler =
           pool = Sim.Semaphore.create (Net.engine t.net) threads;
           dup_cache = Hashtbl.create 64;
           counts = Stats.Counter.create ();
+          executed = 0;
+          duplicates = 0;
           observer = None;
           on_restart = None;
           epoch_seen = Net.Host.boot_epoch host;
@@ -77,11 +90,15 @@ let serve t host ~prog ~threads handler =
 
 let service_host svc = svc.host
 let counters svc = svc.counts
+let executed_count svc = svc.executed
+let duplicate_count svc = svc.duplicates
 let set_observer svc f = svc.observer <- Some f
 let set_on_restart svc f = svc.on_restart <- Some f
 let thread_pool svc = svc.pool
 
 let payload_cpu t bytes = t.config.cpu_per_kbyte *. (float_of_int bytes /. 1024.)
+
+let server_now svc = Sim.Engine.now (Net.Host.engine svc.host)
 
 (* Runs on the server when a request message arrives. [reply_to] sends a
    reply back along the path of this particular request message. *)
@@ -95,17 +112,46 @@ let handle_request t svc ~caller ~xid ~proc ~args ~bulk ~reply_to =
   end;
   let key = (Net.Host.addr caller, xid) in
   match Hashtbl.find_opt svc.dup_cache key with
-  | Some In_progress -> () (* retransmission of a call being served: drop *)
-  | Some (Done reply) -> reply_to reply (* replay cached reply *)
+  | Some In_progress ->
+      (* retransmission of a call being served: drop *)
+      svc.duplicates <- svc.duplicates + 1;
+      if Obs.Trace.on () then
+        Obs.Trace.instant ~ts:(server_now svc) ~cat:"rpc" ~name:"dup_drop"
+          ~track:(Net.Host.name svc.host)
+          ~args:
+            [ ("proc", Obs.Trace.Str (svc.prog ^ "." ^ proc));
+              ("xid", Obs.Trace.Int xid) ]
+          ()
+  | Some (Done reply) ->
+      (* replay cached reply *)
+      svc.duplicates <- svc.duplicates + 1;
+      if Obs.Trace.on () then
+        Obs.Trace.instant ~ts:(server_now svc) ~cat:"rpc" ~name:"dup_replay"
+          ~track:(Net.Host.name svc.host)
+          ~args:
+            [ ("proc", Obs.Trace.Str (svc.prog ^ "." ^ proc));
+              ("xid", Obs.Trace.Int xid) ]
+          ();
+      reply_to reply
   | None ->
       Hashtbl.replace svc.dup_cache key In_progress;
       Sim.Engine.spawn (Net.Host.engine svc.host) ~name:(svc.prog ^ "." ^ proc)
         (fun () ->
           Sim.Semaphore.with_unit svc.pool (fun () ->
               Stats.Counter.incr svc.counts proc;
+              svc.executed <- svc.executed + 1;
               (match svc.observer with
               | Some f -> f ~proc
               | None -> ());
+              let sp =
+                if Obs.Trace.on () then
+                  Obs.Trace.span ~ts:(server_now svc) ~cat:"rpc"
+                    ~name:("exec " ^ svc.prog ^ "." ^ proc)
+                    ~track:(Net.Host.name svc.host)
+                    ~args:[ ("xid", Obs.Trace.Int xid) ]
+                    ()
+                else Obs.Trace.none
+              in
               Net.Host.use_cpu svc.host
                 (t.config.server_cpu_per_call
                 +. payload_cpu t (Bytes.length args + bulk));
@@ -114,6 +160,7 @@ let handle_request t svc ~caller ~xid ~proc ~args ~bulk ~reply_to =
               in
               Net.Host.use_cpu svc.host
                 (payload_cpu t (Bytes.length reply.data + reply.bulk));
+              Obs.Trace.finish ~ts:(server_now svc) sp;
               Hashtbl.replace svc.dup_cache key (Done reply);
               reply_to reply))
 
@@ -127,12 +174,31 @@ let call t ?config ~src ~dst ~prog ~proc ?(bulk = 0) args =
   let engine = Net.engine t.net in
   let xid = t.next_xid in
   t.next_xid <- xid + 1;
+  let issued = Sim.Engine.now engine in
+  let track = Net.Host.name src in
+  let sp =
+    if Obs.Trace.on () then
+      Obs.Trace.span ~ts:issued ~cat:"rpc" ~name:(prog ^ "." ^ proc) ~track
+        ~args:
+          [ ("xid", Obs.Trace.Int xid);
+            ("dst", Obs.Trace.Str (Net.Host.name dst));
+            ("bytes", Obs.Trace.Int (Bytes.length args + bulk)) ]
+        ()
+    else Obs.Trace.none
+  in
   let result : reply Sim.Ivar.t = Sim.Ivar.create engine in
   let reply_to reply =
     Net.send t.net ~src:dst ~dst:src
       ~bytes:(Bytes.length reply.data + reply.bulk)
       ~deliver:(fun () ->
-        if not (Sim.Ivar.is_full result) then Sim.Ivar.fill result reply)
+        if not (Sim.Ivar.is_full result) then begin
+          if Obs.Trace.on () then
+            Obs.Trace.instant ~ts:(Sim.Engine.now engine) ~cat:"rpc"
+              ~name:"reply" ~track
+              ~args:[ ("xid", Obs.Trace.Int xid) ]
+              ();
+          Sim.Ivar.fill result reply
+        end)
   in
   let transmit () =
     Net.send t.net ~src ~dst
@@ -150,11 +216,40 @@ let call t ?config ~src ~dst ~prog ~proc ?(bulk = 0) args =
     match Sim.Ivar.read_timeout result timeout with
     | Some reply ->
         Net.Host.use_cpu src (payload_cpu t (Bytes.length reply.data + reply.bulk));
+        let now = Sim.Engine.now engine in
+        Obs.Latency.record t.latencies ~prog ~proc (now -. issued);
+        Obs.Trace.finish ~ts:now sp
+          ~args:
+            (if Obs.Trace.on () then
+               [ ("status", Obs.Trace.Str "ok");
+                 ("retries", Obs.Trace.Int n) ]
+             else []);
         reply.data
     | None ->
-        if n >= config.retries then raise (Timeout { prog; proc })
+        if n >= config.retries then begin
+          let now = Sim.Engine.now engine in
+          if Obs.Trace.on () then
+            Obs.Trace.instant ~ts:now ~cat:"rpc" ~name:"timeout" ~track
+              ~args:
+                [ ("proc", Obs.Trace.Str (prog ^ "." ^ proc));
+                  ("xid", Obs.Trace.Int xid) ]
+              ();
+          Obs.Trace.finish ~ts:now sp
+            ~args:
+              (if Obs.Trace.on () then [ ("status", Obs.Trace.Str "timeout") ]
+               else []);
+          raise (Timeout { prog; proc })
+        end
         else begin
           t.retransmissions <- t.retransmissions + 1;
+          if Obs.Trace.on () then
+            Obs.Trace.instant ~ts:(Sim.Engine.now engine) ~cat:"rpc"
+              ~name:"retransmit" ~track
+              ~args:
+                [ ("proc", Obs.Trace.Str (prog ^ "." ^ proc));
+                  ("xid", Obs.Trace.Int xid);
+                  ("attempt", Obs.Trace.Int (n + 1)) ]
+              ();
           attempt (n + 1) (timeout *. config.backoff)
         end
   in

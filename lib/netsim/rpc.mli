@@ -54,6 +54,14 @@ val service_host : service -> Net.Host.t
     procedure name. *)
 val counters : service -> Stats.Counter.t
 
+(** Calls this service actually ran (one per distinct request). *)
+val executed_count : service -> int
+
+(** Retransmitted requests absorbed by the duplicate-request cache —
+    dropped while the original was in progress, or answered from the
+    cached reply — rather than re-executed. *)
+val duplicate_count : service -> int
+
 (** Observer invoked (at execution start) for every executed call. *)
 val set_observer : service -> (proc:string -> unit) -> unit
 
@@ -88,3 +96,7 @@ val impatient : config -> config
 
 (** Total retransmissions performed by clients (for failure tests). *)
 val retransmissions : t -> int
+
+(** Round-trip latency histograms, one per [(prog, proc)], fed by every
+    successful {!call}. *)
+val latencies : t -> Obs.Latency.t

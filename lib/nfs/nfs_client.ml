@@ -53,6 +53,12 @@ let fh_of t (g : gnode) = { Wire.fsid = t.root.Wire.fsid; ino = g.g_ino; gen = g
 
 let now t = Sim.Engine.now t.engine
 
+let proto_event t name args =
+  if Obs.Trace.on () then
+    Obs.Trace.instant ~ts:(now t) ~cat:"nfs" ~name
+      ~track:(Netsim.Net.Host.name t.client)
+      ~args ()
+
 (* Install/update a gnode from attributes that just arrived. [probe]
    says whether this update counts as a consistency check: attributes
    piggybacked on lookup replies refresh the cached values but, as in
@@ -85,6 +91,7 @@ let note_attrs ?(probe = true) t (attrs : Localfs.attrs) =
    local truncate) modified the file; drop our copy *)
 let check_mtime t g =
   if g.g_attrs.Localfs.mtime <> g.g_cached_mtime then begin
+    proto_event t "mtime_invalidate" [ ("ino", Obs.Trace.Int g.g_ino) ];
     (* our own delayed partial blocks must not be lost *)
     Blockcache.Cache.flush_file t.cache ~file:g.g_ino;
     Blockcache.Cache.wait_pending t.cache ~file:g.g_ino;
@@ -101,6 +108,7 @@ let attr_timeout t g =
 let refresh_attrs t g =
   if now t -. g.g_fetched > attr_timeout t g then begin
     t.attr_probes <- t.attr_probes + 1;
+    proto_event t "attr_probe" [ ("ino", Obs.Trace.Int g.g_ino) ];
     let attrs = Wire.getattr (call t) (fh_of t g) in
     g.g_attrs <- attrs;
     g.g_fetched <- now t;
@@ -184,6 +192,7 @@ let do_setattr t vn ~size =
 let do_open t vn _mode =
   let g = gnode t vn.Vfs.Fs.vid in
   g.g_opens <- g.g_opens + 1;
+  proto_event t "open" [ ("ino", Obs.Trace.Int g.g_ino) ];
   (* a fresh open restarts the sequential-read detector, so reading
      block 0 counts as sequential and primes read-ahead *)
   g.g_last_read <- -1;
@@ -194,6 +203,11 @@ let do_open t vn _mode =
 let do_close t vn _mode =
   let g = gnode t vn.Vfs.Fs.vid in
   g.g_opens <- g.g_opens - 1;
+  proto_event t "close"
+    [
+      ("ino", Obs.Trace.Int g.g_ino);
+      ("invalidate", Obs.Trace.Bool t.config.invalidate_on_close);
+    ];
   (* synchronously finish all pending write-throughs (Section 2.1):
      flush delayed partial blocks, then drain the write-behind daemon *)
   Blockcache.Cache.flush_file t.cache ~file:g.g_ino;

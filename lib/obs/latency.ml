@@ -1,0 +1,50 @@
+type t = {
+  tbl : (string * string, Stats.Histogram.t) Hashtbl.t;
+  mutable keys : (string * string) list; (* registration order *)
+}
+
+let create () = { tbl = Hashtbl.create 32; keys = [] }
+
+let histogram t ~prog ~proc =
+  let key = (prog, proc) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some h -> h
+  | None ->
+      let h = Stats.Histogram.create (prog ^ "." ^ proc) in
+      Hashtbl.replace t.tbl key h;
+      t.keys <- key :: t.keys;
+      h
+
+let record t ~prog ~proc seconds =
+  Stats.Histogram.add (histogram t ~prog ~proc) seconds
+
+let to_list t =
+  List.map (fun key -> (key, Hashtbl.find t.tbl key)) t.keys
+  |> List.sort compare
+
+let is_empty t = t.keys = []
+
+let total_samples t =
+  List.fold_left (fun acc (_, h) -> acc + Stats.Histogram.count h) 0 (to_list t)
+
+let ms seconds = Printf.sprintf "%.3f" (seconds *. 1e3)
+
+let table t =
+  let rows =
+    List.map
+      (fun ((prog, proc), h) ->
+        [
+          prog ^ "." ^ proc;
+          string_of_int (Stats.Histogram.count h);
+          ms (Stats.Histogram.mean h);
+          ms (Stats.Histogram.percentile h 50.0);
+          ms (Stats.Histogram.percentile h 90.0);
+          ms (Stats.Histogram.percentile h 99.0);
+          ms (Stats.Histogram.max_value h);
+        ])
+      (to_list t)
+  in
+  Stats.Table.render
+    ~header:
+      [ "procedure"; "n"; "mean ms"; "p50 ms"; "p90 ms"; "p99 ms"; "max ms" ]
+    rows

@@ -1,0 +1,26 @@
+(** Per-procedure round-trip latency recording.
+
+    A registry of {!Stats.Histogram}s keyed by [(prog, proc)]. The RPC
+    layer records every successful call's round-trip time here; {!table}
+    renders the per-procedure percentile summary (the "where does the
+    time go" companion to the paper's operation-count tables). *)
+
+type t
+
+val create : unit -> t
+
+(** Record one sample, in (simulated) seconds. *)
+val record : t -> prog:string -> proc:string -> float -> unit
+
+(** The histogram for one procedure, created empty on first use. *)
+val histogram : t -> prog:string -> proc:string -> Stats.Histogram.t
+
+(** All histograms, sorted by [(prog, proc)]. *)
+val to_list : t -> ((string * string) * Stats.Histogram.t) list
+
+val is_empty : t -> bool
+
+val total_samples : t -> int
+
+(** Plain-text table: procedure, n, mean/p50/p90/p99/max in ms. *)
+val table : t -> string

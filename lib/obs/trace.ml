@@ -1,0 +1,73 @@
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type kind = Begin | End | Instant
+
+type event = {
+  ts : float;
+  cat : string;
+  name : string;
+  kind : kind;
+  track : string;
+  id : int;
+  args : (string * value) list;
+}
+
+type t = {
+  mutable events : event list; (* newest first *)
+  mutable next_span : int;
+  mutable count : int;
+}
+
+let create () = { events = []; next_span = 1; count = 0 }
+
+(* The installed tracer. A single mutable slot (rather than a tracer
+   threaded through every constructor) keeps the disabled case to one
+   load-and-compare per probe site, which is what makes tracing free
+   when off. Determinism is unaffected: the slot only selects the sink;
+   all timestamps and ids come from the simulation itself. *)
+let current : t option ref = ref None
+
+let install t = current := Some t
+let uninstall () = current := None
+let on () = !current <> None
+
+let emit tr ev =
+  tr.events <- ev :: tr.events;
+  tr.count <- tr.count + 1
+
+let instant ?(track = "sim") ?(args = []) ~ts ~cat ~name () =
+  match !current with
+  | None -> ()
+  | Some tr -> emit tr { ts; cat; name; kind = Instant; track; id = 0; args }
+
+type span =
+  | No_span
+  | Span of { tracer : t; id : int; cat : string; name : string; track : string }
+
+let none = No_span
+
+let span ?(track = "sim") ?(args = []) ~ts ~cat ~name () =
+  match !current with
+  | None -> No_span
+  | Some tr ->
+      let id = tr.next_span in
+      tr.next_span <- id + 1;
+      emit tr { ts; cat; name; kind = Begin; track; id; args };
+      Span { tracer = tr; id; cat; name; track }
+
+(* ends into the span's own tracer, so a span that outlives the
+   install window still closes properly *)
+let finish ?(args = []) ~ts sp =
+  match sp with
+  | No_span -> ()
+  | Span s ->
+      emit s.tracer
+        { ts; cat = s.cat; name = s.name; kind = End; track = s.track;
+          id = s.id; args }
+
+let events t = List.rev t.events
+let count t = t.count
+
+let with_tracer t f =
+  install t;
+  Fun.protect ~finally:uninstall f

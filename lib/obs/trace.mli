@@ -1,0 +1,81 @@
+(** Deterministic structured event tracing.
+
+    Records the life of individual operations — an RPC from client
+    issue through retransmissions to reply delivery, a cache block's
+    hit/miss/write-back journey, a protocol's callbacks and recovery
+    handshakes — as a flat list of timestamped events. Two properties
+    the simulator depends on:
+
+    - {b determinism}: timestamps are simulated time and span ids are a
+      per-tracer counter; no wall clock, no physical addresses. Two
+      runs of the same seeded workload produce byte-identical traces.
+    - {b zero overhead when disabled}: probe sites guard on {!on}
+      before building argument lists, and every emit function is a
+      no-op when no tracer is installed.
+
+    Traces are exported with {!Chrome} (Chrome trace-event JSON, for
+    [chrome://tracing] / Perfetto) or consumed directly via {!events}. *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type kind = Begin | End | Instant
+
+type event = {
+  ts : float;  (** simulated seconds *)
+  cat : string;  (** layer: "rpc", "net", "cache", "snfs", ... *)
+  name : string;
+  kind : kind;
+  track : string;  (** rendered as a thread: host or cache name *)
+  id : int;  (** span id; 0 for instants *)
+  args : (string * value) list;
+}
+
+type t
+
+val create : unit -> t
+
+(** Install [t] as the sink for all probe sites (one global slot). *)
+val install : t -> unit
+
+val uninstall : unit -> unit
+
+(** Is a tracer installed? Probe sites check this before building
+    argument lists, so disabled tracing allocates nothing. *)
+val on : unit -> bool
+
+(** [with_tracer t f] runs [f] with [t] installed, uninstalling on the
+    way out (also on exceptions). *)
+val with_tracer : t -> (unit -> 'a) -> 'a
+
+(** Point event. *)
+val instant :
+  ?track:string ->
+  ?args:(string * value) list ->
+  ts:float ->
+  cat:string ->
+  name:string ->
+  unit ->
+  unit
+
+(** A span in progress. When tracing is disabled, {!span} returns a
+    dummy that {!finish} ignores. *)
+type span
+
+(** The dummy span, for sites that only create a span conditionally. *)
+val none : span
+
+val span :
+  ?track:string ->
+  ?args:(string * value) list ->
+  ts:float ->
+  cat:string ->
+  name:string ->
+  unit ->
+  span
+
+val finish : ?args:(string * value) list -> ts:float -> span -> unit
+
+(** Events in chronological (emission) order. *)
+val events : t -> event list
+
+val count : t -> int

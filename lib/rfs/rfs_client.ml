@@ -34,6 +34,14 @@ let gnode t ino =
   | Some g -> g
   | None -> invalid_arg "Rfs_client: unknown gnode"
 
+let proto_event t name args =
+  if Obs.Trace.on () then
+    Obs.Trace.instant
+      ~ts:(Sim.Engine.now t.engine)
+      ~cat:"rfs" ~name
+      ~track:(Netsim.Net.Host.name t.client)
+      ~args ()
+
 let fh_of t (g : gnode) =
   { Nfs.Wire.fsid = t.root.Nfs.Wire.fsid; ino = g.g_ino; gen = g.g_gen }
 
@@ -83,6 +91,12 @@ let rfs_open t g ~write =
     Blockcache.Cache.wait_pending t.cache ~file:g.g_ino;
     ignore (Blockcache.Cache.cancel_dirty t.cache ~file:g.g_ino)
   end;
+  proto_event t "open"
+    [
+      ("ino", Obs.Trace.Int g.g_ino);
+      ("write", Obs.Trace.Bool write);
+      ("revalidated", Obs.Trace.Bool valid);
+    ];
   g.g_cached_version <- Some version
 
 let rfs_close t g ~write =
@@ -202,6 +216,7 @@ let handle_callback t dec =
   let args = Nfs.Wire.dec_callback dec in
   let ino = args.Nfs.Wire.cb_fh.Nfs.Wire.ino in
   t.invalidations_served <- t.invalidations_served + 1;
+  proto_event t "invalidate" [ ("ino", Obs.Trace.Int ino) ];
   (match Hashtbl.find_opt t.gnodes ino with
   | None -> ()
   | Some g ->

@@ -57,6 +57,17 @@ let on_write t ~ino ~caller =
               cb_invalidate = true;
             };
           t.invalidations <- t.invalidations + 1;
+          if Obs.Trace.on () then
+            Obs.Trace.instant
+              ~ts:(Sim.Engine.now (Netsim.Net.engine (Netsim.Rpc.net t.rpc)))
+              ~cat:"rfs" ~name:"callback_send"
+              ~track:(Netsim.Net.Host.name t.host)
+              ~args:
+                [
+                  ("file", Obs.Trace.Int ino);
+                  ("to", Obs.Trace.Str (Netsim.Net.Host.name target));
+                ]
+              ();
           try
             ignore
               (Netsim.Rpc.call t.rpc ~src:t.host ~dst:target

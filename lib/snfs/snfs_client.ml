@@ -54,6 +54,14 @@ let gnode t ino =
   | Some g -> g
   | None -> invalid_arg "Snfs_client: unknown gnode"
 
+let proto_event t name args =
+  if Obs.Trace.on () then
+    Obs.Trace.instant
+      ~ts:(Sim.Engine.now t.engine)
+      ~cat:"snfs" ~name
+      ~track:(Netsim.Net.Host.name t.client)
+      ~args ()
+
 let fh_of t (g : gnode) =
   { Nfs.Wire.fsid = t.root.Nfs.Wire.fsid; ino = g.g_ino; gen = g.g_gen }
 
@@ -186,12 +194,24 @@ let do_open t vn mode =
     in
     attempt 0
   end;
+  proto_event t "open"
+    [
+      ("ino", Obs.Trace.Int g.g_ino);
+      ("write", Obs.Trace.Bool write);
+      ("cache_enabled", Obs.Trace.Bool g.g_cache_enabled);
+    ];
   if write then g.g_writes <- g.g_writes + 1 else g.g_reads <- g.g_reads + 1
 
 let do_close t vn mode =
   let g = gnode t vn.Vfs.Fs.vid in
   let write = Vfs.Fs.mode_writes mode in
   if write then g.g_writes <- g.g_writes - 1 else g.g_reads <- g.g_reads - 1;
+  proto_event t "close"
+    [
+      ("ino", Obs.Trace.Int g.g_ino);
+      ("write", Obs.Trace.Bool write);
+      ("delayed", Obs.Trace.Bool t.config.delayed_close);
+    ];
   (* no flush: dirty blocks stay cached under the delayed-write policy *)
   if t.config.delayed_close then add_unsent t g ~write
   else send_close t g ~write
@@ -322,6 +342,12 @@ let handle_callback t dec =
   let args = Nfs.Wire.dec_callback dec in
   let ino = args.Nfs.Wire.cb_fh.Nfs.Wire.ino in
   t.callbacks_served <- t.callbacks_served + 1;
+  proto_event t "callback"
+    [
+      ("ino", Obs.Trace.Int ino);
+      ("writeback", Obs.Trace.Bool args.Nfs.Wire.cb_writeback);
+      ("invalidate", Obs.Trace.Bool args.Nfs.Wire.cb_invalidate);
+    ];
   (match Hashtbl.find_opt t.gnodes ino with
   | None -> () (* nothing cached; trivially satisfied *)
   | Some g ->
@@ -363,6 +389,7 @@ let build_reports t =
 
 let recover_now t =
   let reports = build_reports t in
+  proto_event t "reopen" [ ("files", Obs.Trace.Int (List.length reports)) ];
   let e = Xdr.Enc.create () in
   Xdr.Enc.uint32 e (List.length reports);
   List.iter

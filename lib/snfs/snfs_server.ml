@@ -28,6 +28,14 @@ type t = {
 let mode_of_flag write_mode =
   if write_mode then Spritely.State_table.Write else Spritely.State_table.Read
 
+let server_event t name args =
+  if Obs.Trace.on () then
+    Obs.Trace.instant
+      ~ts:(Sim.Engine.now t.engine)
+      ~cat:"snfs" ~name
+      ~track:(Netsim.Net.Host.name t.host)
+      ~args ()
+
 (* Deliver one callback prescribed by the state table. A dead client
    is forgotten, as Section 3.2 prescribes; its dirty data (if any) is
    lost and the entry stays flagged inconsistent. *)
@@ -49,6 +57,13 @@ let perform_callback t ~file (cb : Spritely.State_table.callback) =
   let e = Xdr.Enc.create () in
   Nfs.Wire.enc_callback e args;
   t.callbacks_sent <- t.callbacks_sent + 1;
+  server_event t "callback_send"
+    [
+      ("file", Obs.Trace.Int file);
+      ("to", Obs.Trace.Str (Netsim.Net.Host.name target));
+      ("writeback", Obs.Trace.Bool cb.writeback);
+      ("invalidate", Obs.Trace.Bool cb.invalidate);
+    ];
   (* a short retry schedule: the opener waiting on this callback must
      not itself time out before we give up on a dead client *)
   match
@@ -63,6 +78,11 @@ let perform_callback t ~file (cb : Spritely.State_table.callback) =
         Spritely.State_table.note_clean t.table ~file ~client:cb.target
   | exception Netsim.Rpc.Timeout _ ->
       t.callbacks_failed <- t.callbacks_failed + 1;
+      server_event t "callback_failed"
+        [
+          ("file", Obs.Trace.Int file);
+          ("to", Obs.Trace.Str (Netsim.Net.Host.name target));
+        ];
       Spritely.State_table.forget_client t.table cb.target
 
 let perform_callbacks t ~file callbacks =
@@ -110,6 +130,9 @@ let handle_open t ~caller d =
   if in_grace t && not (Hashtbl.mem t.recovered caller) then begin
     (* the consistency state may not change until recovery completes
        (Section 2.4); the client backs off and retries *)
+    server_event t "grace_reject"
+      [ ("file", Obs.Trace.Int fh.Nfs.Wire.ino);
+        ("caller", Obs.Trace.Int caller) ];
     Nfs.Wire.enc_status e (Error Localfs.Again);
     { Netsim.Rpc.data = Xdr.Enc.to_bytes e; bulk = 0 }
   end
@@ -169,6 +192,8 @@ let handle_ping t =
 let handle_reopen t ~caller d =
   Hashtbl.replace t.recovered caller ();
   let n = Xdr.Dec.uint32 d in
+  server_event t "reopen_merge"
+    [ ("caller", Obs.Trace.Int caller); ("files", Obs.Trace.Int n) ];
   for _ = 1 to n do
     let file = Xdr.Dec.uint32 d in
     let readers = Xdr.Dec.uint32 d in

@@ -1,0 +1,257 @@
+(* Fault-path tests: the duplicate-request cache under message loss and
+   delay (Section 3.2's delayed duplicates), partition-driven crash
+   detection (Section 2.4), and the post-reboot recovery grace period.
+   These exercise the failure machinery directly, with counters from
+   the RPC layer (executed/duplicate/retransmission counts) proving
+   that suppression — not luck — produced the right answer. *)
+
+let run_sim f =
+  let e = Sim.Engine.create () in
+  let result = ref None in
+  Sim.Engine.spawn e ~name:"test-main" (fun () ->
+      result := Some (f e);
+      Sim.Engine.stop e);
+  Sim.Engine.run e;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "simulation main process did not complete"
+
+type world = {
+  net : Netsim.Net.t;
+  rpc : Netsim.Rpc.t;
+  server_host : Netsim.Net.Host.t;
+  server_fs : Localfs.t;
+  snfs_server : Snfs.Snfs_server.t;
+}
+
+let make_world e =
+  let net = Netsim.Net.create e () in
+  let rpc = Netsim.Rpc.create net () in
+  let server_host = Netsim.Net.Host.create net "server" in
+  let server_disk = Diskm.Disk.create e "server-disk" in
+  let server_fs =
+    Localfs.create e ~name:"srvfs" ~disk:server_disk ~cache_blocks:896
+      ~meta_policy:`Sync ()
+  in
+  let snfs_server = Snfs.Snfs_server.serve rpc server_host ~fsid:2 server_fs in
+  { net; rpc; server_host; server_fs; snfs_server }
+
+let snfs_client w name =
+  let host = Netsim.Net.Host.create w.net name in
+  let client =
+    Snfs.Snfs_client.mount w.rpc ~client:host ~server:w.server_host
+      ~root:(Snfs.Snfs_server.root_fh w.snfs_server)
+      ~name ()
+  in
+  let mounts = Vfs.Mount.create () in
+  Vfs.Mount.mount mounts ~at:"/" (Snfs.Snfs_client.fs client);
+  (host, client, mounts)
+
+(* a counting echo service: the handler's side effect is visible, so
+   re-execution of a retried request cannot hide *)
+let serve_echo rpc host executions =
+  Netsim.Rpc.serve rpc host ~prog:"echo" ~threads:4
+    (fun ~caller:_ ~proc:_ dec ->
+      let x = Xdr.Dec.int32 dec in
+      let n = try Hashtbl.find executions x with Not_found -> 0 in
+      Hashtbl.replace executions x (n + 1);
+      let e = Xdr.Enc.create () in
+      Xdr.Enc.int32 e (x + 1);
+      { Netsim.Rpc.data = Xdr.Enc.to_bytes e; bulk = 0 })
+
+let echo_once rpc ~src ~dst x =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.int32 e x;
+  let d =
+    Xdr.Dec.of_bytes
+      (Netsim.Rpc.call rpc
+         ~config:{ (Netsim.Rpc.config rpc) with timeout = 0.2 }
+         ~src ~dst ~prog:"echo" ~proc:"bump" (Xdr.Enc.to_bytes e))
+  in
+  Xdr.Dec.int32 d
+
+let test_dup_suppression_under_jitter () =
+  (* delivery jitter far above the retransmission timeout: most first
+     attempts are retransmitted while the original request is still in
+     flight or already executing, so the server sees a stream of the
+     delayed duplicates Section 3.2 warns about *)
+  run_sim (fun e ->
+      let net = Netsim.Net.create e () in
+      let rpc = Netsim.Rpc.create net () in
+      let server = Netsim.Net.Host.create net "server" in
+      let client = Netsim.Net.Host.create net "client" in
+      let executions = Hashtbl.create 64 in
+      let svc = serve_echo rpc server executions in
+      Netsim.Net.set_jitter net 1.0;
+      let ncalls = 50 in
+      for i = 1 to ncalls do
+        Alcotest.(check int) "reply matches request" (i + 1)
+          (echo_once rpc ~src:client ~dst:server i)
+      done;
+      Alcotest.(check bool) "jitter forced retransmissions" true
+        (Netsim.Rpc.retransmissions rpc > 0);
+      Alcotest.(check bool) "duplicates reached the server" true
+        (Netsim.Rpc.duplicate_count svc > 0);
+      Alcotest.(check int) "every request executed exactly once" ncalls
+        (Netsim.Rpc.executed_count svc);
+      Hashtbl.iter
+        (fun x n ->
+          Alcotest.(check int)
+            (Printf.sprintf "request %d not re-executed" x)
+            1 n)
+        executions)
+
+let test_dup_suppression_under_drops () =
+  (* message loss: a dropped reply makes the client retransmit a
+     request the server already executed; the cached reply must be
+     replayed rather than the handler run again *)
+  run_sim (fun e ->
+      let net = Netsim.Net.create e () in
+      let rpc = Netsim.Rpc.create net () in
+      let server = Netsim.Net.Host.create net "server" in
+      let client = Netsim.Net.Host.create net "client" in
+      let executions = Hashtbl.create 64 in
+      let svc = serve_echo rpc server executions in
+      Netsim.Net.set_drop_probability net 0.2;
+      let ncalls = 40 in
+      let ok = ref 0 in
+      for i = 1 to ncalls do
+        match echo_once rpc ~src:client ~dst:server i with
+        | reply ->
+            Alcotest.(check int) "reply matches request" (i + 1) reply;
+            incr ok
+        | exception Netsim.Rpc.Timeout _ -> ()
+      done;
+      Alcotest.(check bool) "most calls eventually succeeded" true
+        (!ok > ncalls / 2);
+      Alcotest.(check bool) "messages were dropped" true
+        (Netsim.Net.messages_dropped net > 0);
+      Alcotest.(check bool) "retransmissions happened" true
+        (Netsim.Rpc.retransmissions rpc > 0);
+      Alcotest.(check bool) "duplicates absorbed by the cache" true
+        (Netsim.Rpc.duplicate_count svc > 0);
+      Hashtbl.iter
+        (fun x n ->
+          Alcotest.(check int)
+            (Printf.sprintf "request %d not re-executed" x)
+            1 n)
+        executions)
+
+let test_partition_triggers_reaper_then_heal_restores () =
+  (* Section 2.4 covers partitions as well as crashes: a client cut off
+     by the network looks dead to the server's keepalive probing. The
+     reaper reclaims its state; after the partition heals the same
+     client can use the server again. *)
+  run_sim (fun e ->
+      let w = make_world e in
+      let server = w.snfs_server in
+      Snfs.Snfs_server.start_client_reaper server ~idle:30.0 ~interval:20.0;
+      let host, _, m = snfs_client w "c1" in
+      let fd = Vfs.Fileio.creat m "/held-open" in
+      ignore (Vfs.Fileio.write fd ~len:4096);
+      (* fd deliberately left open: the server holds state for c1 *)
+      let table = Snfs.Snfs_server.state_table server in
+      Alcotest.(check int) "state held" 1
+        (Spritely.State_table.entry_count table);
+      let dropped_before = Netsim.Net.messages_dropped w.net in
+      Netsim.Net.partition w.net host w.server_host;
+      Alcotest.(check bool) "partitioned" true
+        (Netsim.Net.partitioned w.net host w.server_host);
+      Sim.Engine.sleep e 200.0;
+      (* the probes died in the partition and the client was declared
+         crashed, exactly as if its host had gone down *)
+      Alcotest.(check bool) "probe traffic was cut" true
+        (Netsim.Net.messages_dropped w.net > dropped_before);
+      Alcotest.(check bool) "partitioned client reaped" true
+        (Snfs.Snfs_server.clients_reaped server > 0);
+      Alcotest.(check (list int)) "no open state left" []
+        (List.concat_map
+           (fun file ->
+             List.map (fun (c, _, _) -> c)
+               (Spritely.State_table.openers table ~file))
+           (Spritely.State_table.files table));
+      (* heal: the client (which never actually died) is served again *)
+      Netsim.Net.heal w.net host w.server_host;
+      Alcotest.(check bool) "healed" false
+        (Netsim.Net.partitioned w.net host w.server_host);
+      Vfs.Fileio.write_file m "/after-heal" ~bytes:4096;
+      Alcotest.(check bool) "client works after heal" true
+        (Vfs.Fileio.exists m "/after-heal"))
+
+let test_grace_rejects_unrecovered_clients () =
+  (* after a reboot with recovery_grace, an open from a client that has
+     not replayed its state via reopen is refused with the retryable
+     Again error; the same server admits a recovered client at once *)
+  run_sim (fun e ->
+      let w = make_world e in
+      let server =
+        Snfs.Snfs_server.serve w.rpc w.server_host ~fsid:9 ~recovery_grace:30.0
+          w.server_fs
+      in
+      let mount_on name =
+        let host = Netsim.Net.Host.create w.net name in
+        let c =
+          Snfs.Snfs_client.mount w.rpc ~client:host ~server:w.server_host
+            ~root:(Snfs.Snfs_server.root_fh server) ~name ()
+        in
+        let m = Vfs.Mount.create () in
+        Vfs.Mount.mount m ~at:"/" (Snfs.Snfs_client.fs c);
+        (host, c, m)
+      in
+      let _, c1, m1 = mount_on "g1" in
+      let lone_host, _, _ = mount_on "g2" in
+      Vfs.Fileio.write_file m1 "/a" ~bytes:4096;
+      Netsim.Net.Host.crash w.server_host;
+      Sim.Engine.sleep e 2.0;
+      Netsim.Net.Host.reboot w.server_host;
+      (* a raw open from a client that has not recovered; this is also
+         the first post-reboot call, which starts the grace window *)
+      let raw_call ~proc ?bulk args =
+        Netsim.Rpc.call w.rpc ~src:lone_host ~dst:w.server_host
+          ~prog:Snfs.Snfs_server.prog ~proc ?bulk args
+      in
+      let root = Snfs.Snfs_server.root_fh server in
+      (match Nfs.Wire.snfs_open raw_call root ~write_mode:false with
+      | _ -> Alcotest.fail "open from unrecovered client must be refused"
+      | exception Localfs.Error Localfs.Again -> ());
+      Alcotest.(check bool) "grace active" true
+        (Snfs.Snfs_server.in_grace server);
+      (* client 1 replays its state and is admitted during the grace *)
+      Snfs.Snfs_client.recover_now c1;
+      let t0 = Sim.Engine.now e in
+      ignore (Vfs.Fileio.read_file m1 "/a");
+      Alcotest.(check bool) "recovered client admitted promptly" true
+        (Sim.Engine.now e -. t0 < 5.0);
+      Alcotest.(check bool) "still in grace" true
+        (Snfs.Snfs_server.in_grace server);
+      (* the unrecovered client keeps being refused until it replays *)
+      (match Nfs.Wire.snfs_open raw_call root ~write_mode:false with
+      | _ -> Alcotest.fail "still-unrecovered client must be refused"
+      | exception Localfs.Error Localfs.Again -> ());
+      (* after the grace expires the refusals stop *)
+      Sim.Engine.sleep e 35.0;
+      Alcotest.(check bool) "grace over" false
+        (Snfs.Snfs_server.in_grace server);
+      ignore (Nfs.Wire.snfs_open raw_call root ~write_mode:false))
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "duplicate suppression",
+        [
+          Alcotest.test_case "under delivery jitter" `Quick
+            test_dup_suppression_under_jitter;
+          Alcotest.test_case "under message loss" `Quick
+            test_dup_suppression_under_drops;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "reaper fires, heal restores" `Quick
+            test_partition_triggers_reaper_then_heal_restores;
+        ] );
+      ( "recovery grace",
+        [
+          Alcotest.test_case "unrecovered clients refused" `Quick
+            test_grace_rejects_unrecovered_clients;
+        ] );
+    ]
