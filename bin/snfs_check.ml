@@ -1,0 +1,25 @@
+(* snfs_check — bounded exhaustive model checking of the Table 4-1
+   state machine. Prints a summary; on an invariant violation prints
+   GNU-style findings anchored at the state table's source (with the
+   op sequence that reaches the violation) and exits non-zero. *)
+
+let () =
+  let t0 = Sys.time () in
+  let result = Check.Explore.Table_checker.run () in
+  let dt = Sys.time () -. t0 in
+  Printf.printf
+    "snfs_check: %d distinct states, %d transitions, depth %d, %.2fs\n"
+    result.Check.Explore.stats.distinct_states
+    result.Check.Explore.stats.transitions result.Check.Explore.stats.deepest
+    dt;
+  match result.Check.Explore.violations with
+  | [] -> ()
+  | vs ->
+      List.iter
+        (fun v ->
+          Printf.printf "lib/core/state_table.ml:1: error: [check/%s] %s (after: %s)\n"
+            v.Check.Explore.v_inv v.Check.Explore.v_detail
+            (Check.Invariant.ops_to_string v.Check.Explore.v_path))
+        vs;
+      Printf.eprintf "snfs_check: %d invariant violation(s)\n" (List.length vs);
+      exit 1

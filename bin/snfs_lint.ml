@@ -1,0 +1,13 @@
+(* snfs_lint — determinism / protocol-hygiene lint over the source
+   tree. Prints GNU-style [path:line: error: [rule] message] findings
+   and exits non-zero if there are any. *)
+
+let () =
+  let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
+  let findings = Check.Lint.scan_tree root in
+  List.iter (fun f -> print_endline (Check.Lint.to_string f)) findings;
+  match findings with
+  | [] -> ()
+  | fs ->
+      Printf.eprintf "snfs_lint: %d finding(s)\n" (List.length fs);
+      exit 1

@@ -1,0 +1,221 @@
+module St = Spritely.State_table
+
+type protocol = Nfs | Snfs | Rfs | Kent
+
+let protocol_to_string = function
+  | Nfs -> "nfs"
+  | Snfs -> "snfs"
+  | Rfs -> "rfs"
+  | Kent -> "kent"
+
+let strict = function Nfs -> false | Snfs | Rfs | Kent -> true
+
+type outcome = { reads : int; stale : int; server_divergence : int }
+
+let nclients = 3
+
+let run_sim f =
+  let e = Sim.Engine.create () in
+  let result = ref None in
+  Sim.Engine.spawn e ~name:"oracle-main" (fun () ->
+      result := Some (f e);
+      Sim.Engine.stop e);
+  Sim.Engine.run e;
+  match !result with
+  | Some v -> v
+  | None -> failwith "Oracle: simulation main process did not complete"
+
+(* one mount per client plus a quiesce hook forcing its dirty blocks to
+   the server (the oracle hook each protocol client exports) *)
+let make_clients protocol e net rpc server_host sfs =
+  ignore e;
+  match protocol with
+  | Nfs ->
+      let server = Nfs.Nfs_server.serve rpc server_host ~fsid:1 sfs in
+      List.init nclients (fun i ->
+          let host = Netsim.Net.Host.create net (Printf.sprintf "c%d" i) in
+          let c =
+            Nfs.Nfs_client.mount rpc ~client:host ~server:server_host
+              ~root:(Nfs.Nfs_server.root_fh server)
+              ~name:(Printf.sprintf "nfs%d" i) ()
+          in
+          let m = Vfs.Mount.create () in
+          Vfs.Mount.mount m ~at:"/" (Nfs.Nfs_client.fs c);
+          (m, fun () -> Nfs.Nfs_client.quiesce c))
+  | Snfs ->
+      let server = Snfs.Snfs_server.serve rpc server_host ~fsid:1 sfs in
+      List.init nclients (fun i ->
+          let host = Netsim.Net.Host.create net (Printf.sprintf "c%d" i) in
+          let c =
+            Snfs.Snfs_client.mount rpc ~client:host ~server:server_host
+              ~root:(Snfs.Snfs_server.root_fh server)
+              ~name:(Printf.sprintf "snfs%d" i) ()
+          in
+          let m = Vfs.Mount.create () in
+          Vfs.Mount.mount m ~at:"/" (Snfs.Snfs_client.fs c);
+          (m, fun () -> Snfs.Snfs_client.quiesce c))
+  | Rfs ->
+      let server = Rfs.Rfs_server.serve rpc server_host ~fsid:1 sfs in
+      List.init nclients (fun i ->
+          let host = Netsim.Net.Host.create net (Printf.sprintf "c%d" i) in
+          let c =
+            Rfs.Rfs_client.mount rpc ~client:host ~server:server_host
+              ~root:(Rfs.Rfs_server.root_fh server)
+              ~name:(Printf.sprintf "rfs%d" i) ()
+          in
+          let m = Vfs.Mount.create () in
+          Vfs.Mount.mount m ~at:"/" (Rfs.Rfs_client.fs c);
+          (m, fun () -> Rfs.Rfs_client.quiesce c))
+  | Kent ->
+      let server = Kentfs.Kent_server.serve rpc server_host ~fsid:1 sfs in
+      List.init nclients (fun i ->
+          let host = Netsim.Net.Host.create net (Printf.sprintf "c%d" i) in
+          let c =
+            Kentfs.Kent_client.mount rpc ~client:host ~server:server_host
+              ~root:(Kentfs.Kent_server.root_fh server)
+              ~name:(Printf.sprintf "kent%d" i) ()
+          in
+          let m = Vfs.Mount.create () in
+          Vfs.Mount.mount m ~at:"/" (Kentfs.Kent_client.fs c);
+          (m, fun () -> Kentfs.Kent_client.quiesce c))
+
+let path_of f = Printf.sprintf "/f%d" f
+
+let replay protocol ops =
+  run_sim (fun e ->
+      let net = Netsim.Net.create e () in
+      let rpc = Netsim.Rpc.create net () in
+      let server_host = Netsim.Net.Host.create net "server" in
+      let disk = Diskm.Disk.create e "sd" in
+      let sfs =
+        Localfs.create e ~name:"sfs" ~disk ~cache_blocks:896 ~meta_policy:`Sync
+          ()
+      in
+      let mounts = make_clients protocol e net rpc server_host sfs in
+      let mount c = fst (List.nth mounts c) in
+      (* serial reference model: Some stamp = last write, None = never
+         created / removed *)
+      let model : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      (* open descriptors: (client, file) -> fd stack, write fds flagged *)
+      let fds : (int * int, (Vfs.Fileio.fd * bool) list) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let reads = ref 0 in
+      let stale = ref 0 in
+      let settle () = Sim.Engine.sleep e 0.2 in
+      let push c f fd w =
+        Hashtbl.replace fds (c, f)
+          ((fd, w) :: Option.value ~default:[] (Hashtbl.find_opt fds (c, f)))
+      in
+      let pop c f w =
+        match Hashtbl.find_opt fds (c, f) with
+        | None -> None
+        | Some stack -> (
+            match List.partition (fun (_, w') -> w' = w) stack with
+            | [], _ -> None
+            | (fd, _) :: keep_same, keep_other ->
+                let rest = keep_same @ keep_other in
+                if rest = [] then Hashtbl.remove fds (c, f)
+                else Hashtbl.replace fds (c, f) rest;
+                Some fd)
+      in
+      let close_all pred =
+        Hashtbl.fold (fun k stack acc -> (k, stack) :: acc) fds []
+        |> List.sort compare
+        |> List.iter (fun ((c, f), stack) ->
+               if pred c f then begin
+                 Hashtbl.remove fds (c, f);
+                 List.iter (fun (fd, _) -> Vfs.Fileio.close fd) stack
+               end)
+      in
+      let check_read c f =
+        match Hashtbl.find_opt model f with
+        | None -> (
+            incr reads;
+            match Vfs.Fileio.read_file (mount c) (path_of f) with
+            | 0 -> ()
+            | _ -> incr stale
+            | exception Localfs.Error Localfs.Noent -> ())
+        | Some expected -> (
+            incr reads;
+            match Vfs.Fileio.openf (mount c) (path_of f) Vfs.Fs.Read_only with
+            | fd ->
+                let observed = Vfs.Fileio.read fd ~len:1_000_000 in
+                Vfs.Fileio.close fd;
+                if observed = [] then incr stale
+                else if List.exists (fun (s, _) -> s <> expected) observed then
+                  incr stale
+            | exception Localfs.Error Localfs.Noent -> incr stale)
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | Invariant.Open (c, f, St.Write) ->
+              let fd = Vfs.Fileio.creat (mount c) (path_of f) in
+              let stamp = Vfs.Fileio.write fd ~len:(2 * 4096) in
+              Hashtbl.replace model f stamp;
+              push c f fd true
+          | Invariant.Open (c, f, St.Read) -> (
+              check_read c f;
+              (* hold a descriptor across the following ops, like the
+                 state-machine sequence does *)
+              match Vfs.Fileio.openf (mount c) (path_of f) Vfs.Fs.Read_only with
+              | fd -> push c f fd false
+              | exception Localfs.Error Localfs.Noent -> ())
+          | Invariant.Close (c, f, m) -> (
+              match pop c f (m = St.Write) with
+              | Some fd -> Vfs.Fileio.close fd
+              | None -> ())
+          | Invariant.Note_clean (c, f) -> (
+              (* the client returns its dirty blocks: fsync *)
+              match Hashtbl.find_opt fds (c, f) with
+              | Some ((fd, _) :: _) -> Vfs.Fileio.fsync fd
+              | Some [] | None -> ())
+          | Invariant.Forget c ->
+              (* the client goes away gracefully: everything it holds
+                 is closed *)
+              close_all (fun c' _ -> c' = c)
+          | Invariant.Remove f -> (
+              close_all (fun _ f' -> f' = f);
+              match Vfs.Fileio.unlink (mount 0) (path_of f) with
+              | () -> Hashtbl.remove model f
+              | exception Localfs.Error Localfs.Noent ->
+                  if Hashtbl.mem model f then incr stale));
+          settle ())
+        ops;
+      close_all (fun _ _ -> true);
+      List.iter (fun (_, quiesce) -> quiesce ()) mounts;
+      Sim.Engine.sleep e 1.0;
+      (* after the quiesce every protocol's server copy must be exact *)
+      let server_mount = Vfs.Mount.create () in
+      Vfs.Mount.mount server_mount ~at:"/" (Vfs.Local_mount.make sfs);
+      let server_divergence = ref 0 in
+      let all_files =
+        Hashtbl.fold (fun f _ acc -> f :: acc) model [] |> List.sort compare
+      in
+      List.iter
+        (fun f ->
+          let expected = Hashtbl.find model f in
+          match Vfs.Fileio.openf server_mount (path_of f) Vfs.Fs.Read_only with
+          | fd ->
+              let observed = Vfs.Fileio.read fd ~len:1_000_000 in
+              Vfs.Fileio.close fd;
+              if
+                observed = []
+                || List.exists (fun (s, _) -> s <> expected) observed
+              then incr server_divergence
+          | exception Localfs.Error Localfs.Noent -> incr server_divergence)
+        all_files;
+      { reads = !reads; stale = !stale; server_divergence = !server_divergence })
+
+let replay_all protocol seqs =
+  List.fold_left
+    (fun acc seq ->
+      let o = replay protocol seq in
+      {
+        reads = acc.reads + o.reads;
+        stale = acc.stale + o.stale;
+        server_divergence = acc.server_divergence + o.server_divergence;
+      })
+    { reads = 0; stale = 0; server_divergence = 0 }
+    seqs

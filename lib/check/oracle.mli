@@ -1,0 +1,41 @@
+(** Cross-protocol consistency oracle.
+
+    Replays checker-derived op sequences (see {!Explore.result.paths})
+    through the real simulated client–server stacks — NFS, SNFS, RFS
+    and the Kent block protocol — and diffs every observable read, and
+    the final server-side file contents after a cache quiesce, against
+    a serial reference model (latest stamp per file).
+
+    SNFS, RFS and Kent guarantee consistency for serialized
+    cross-client access, so any divergence is a failure. NFS's
+    attribute-cache staleness is the paper's documented divergence
+    (Section 2.1 / Table 5-7): it is counted and reported, never a
+    failure — but NFS's write-through discipline still makes the
+    post-quiesce server state exact, so [server_divergence] is strict
+    for all four protocols. *)
+
+type protocol = Nfs | Snfs | Rfs | Kent
+
+val protocol_to_string : protocol -> string
+
+(** Does the protocol promise zero stale reads under serialized
+    sharing? [false] only for {!Nfs}. *)
+val strict : protocol -> bool
+
+type outcome = {
+  reads : int;  (** read observations diffed against the model *)
+  stale : int;  (** reads that disagreed with the serial model *)
+  server_divergence : int;
+      (** files whose server-side copy disagreed after quiesce *)
+}
+
+(** Replay one checker op sequence over a fresh simulated world:
+    [Open]s become creates/writes or reading opens held across
+    subsequent ops, [Close]s release them, [Note_clean] becomes fsync,
+    [Forget] closes everything that client holds, [Remove] unlinks.
+    Reads are diffed at open; on return all descriptors are closed,
+    caches quiesced and the server contents diffed. *)
+val replay : protocol -> Invariant.op list -> outcome
+
+(** Sum of {!replay} over many sequences. *)
+val replay_all : protocol -> Invariant.op list list -> outcome

@@ -64,6 +64,32 @@ let create ?(max_entries = 1000) () =
 let entry_count t = Hashtbl.length t.entries
 let max_entries t = t.max
 
+let copy t =
+  let entries = Hashtbl.create (max 64 (Hashtbl.length t.entries)) in
+  Hashtbl.iter
+    (fun file f ->
+      Hashtbl.replace entries file
+        {
+          f_file = f.f_file;
+          f_version = f.f_version;
+          f_prev = f.f_prev;
+          f_clients =
+            List.map
+              (fun c ->
+                {
+                  c_client = c.c_client;
+                  c_readers = c.c_readers;
+                  c_writers = c.c_writers;
+                  c_can_cache = c.c_can_cache;
+                })
+              f.f_clients;
+          f_last_writer = f.f_last_writer;
+          f_inconsistent = f.f_inconsistent;
+          f_activity = f.f_activity;
+        })
+    t.entries;
+  { entries; max = t.max; counter = t.counter; op_seq = t.op_seq }
+
 (* the paper's accounting: 68 bytes per entry; client info blocks are
    part of that figure for the single-client common case, so charge a
    modest increment for each additional client *)

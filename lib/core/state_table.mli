@@ -57,6 +57,11 @@ val create : ?max_entries:int -> unit -> t
 val entry_count : t -> int
 val max_entries : t -> int
 
+(** Independent deep copy. The model checker ({!module:Check}, when
+    linked) branches the table at every explored interleaving, so this
+    must be cheap and must share no mutable state with the original. *)
+val copy : t -> t
+
 (** Approximate kernel-memory footprint, using the paper's accounting
     (Section 4.5: 68 bytes per entry plus a client block per client,
     "up to 1000 simultaneously open files ... about 70 kbytes"). *)

@@ -324,3 +324,6 @@ let cache t = t.cache
 let start_syncer t ~interval = Blockcache.Cache.start_syncer t.cache ~interval ()
 let acquires t = t.acquires
 let block_callbacks_served t = t.callbacks_served
+
+(* oracle hook: push every owned dirty block back to the server *)
+let quiesce t = Blockcache.Cache.flush_all t.cache

@@ -185,10 +185,13 @@ let handle_setattr t ~caller d =
   let e = Xdr.Enc.create () in
   (match Localfs.getattr (Nfs.Wire.core_fs t.core) ino with
   | _attrs ->
+      (* sorted: the invalidation callbacks below must not go out in
+         hash-bucket order (snfs_lint's hashtbl-order rule) *)
       let affected =
         Hashtbl.fold
           (fun (i, index) b acc -> if i = ino then (index, b) :: acc else acc)
           t.blocks []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
       in
       List.iter
         (fun (index, b) ->

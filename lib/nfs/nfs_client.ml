@@ -325,3 +325,7 @@ let mount rpc ~client ~server ~root ?(config = default_config) ?(name = "nfs")
 let fs t = match t.fs with Some fs -> fs | None -> assert false
 let cache t = t.cache
 let attr_probes t = t.attr_probes
+
+(* oracle hook: NFS writes through, so only pending write-behinds and
+   delayed partial blocks can still be client-side *)
+let quiesce t = Blockcache.Cache.flush_all t.cache

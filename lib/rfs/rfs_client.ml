@@ -306,3 +306,6 @@ let mount rpc ~client ~server ~root ?(config = default_config) ?(name = "rfs")
 let fs t = match t.fs with Some fs -> fs | None -> assert false
 let cache t = t.cache
 let invalidations_served t = t.invalidations_served
+
+(* oracle hook: RFS writes through, so this only drains stragglers *)
+let quiesce t = Blockcache.Cache.flush_all t.cache

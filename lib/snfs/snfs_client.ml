@@ -526,3 +526,7 @@ let cache t = t.cache
 let start_syncer t ~interval = Blockcache.Cache.start_syncer t.cache ~interval ()
 let delayed_close_hits t = t.delayed_close_hits
 let callbacks_served t = t.callbacks_served
+
+(* oracle hook: force every delayed-write block to the server so the
+   consistency oracle can diff the server copy against its model *)
+let quiesce t = Blockcache.Cache.flush_all t.cache

@@ -1,0 +1,159 @@
+(* The determinism lint (lib/check/lint).
+
+   Each rule is proven to fire on a negative fixture and to stay quiet
+   on the corresponding clean variant: nondeterminism sources
+   (wall-clock, self-seeded RNG) outside bin/, order-sensitive Hashtbl
+   iteration feeding trace/callback emission, and lib/ modules without
+   an interface. Also covers the waiver comment, comment/string
+   stripping, and the bin/ exemption. *)
+
+module L = Check.Lint
+
+let scan ~path src = L.scan_source ~path src
+
+let test_determinism_fires () =
+  List.iter
+    (fun call ->
+      let src = Printf.sprintf "let now () = %s ()\n" call in
+      match scan ~path:"lib/obs/clock.ml" src with
+      | [ f ] ->
+          Alcotest.(check string) (call ^ ": rule") "determinism" f.L.f_rule;
+          Alcotest.(check int) (call ^ ": line") 1 f.L.f_line
+      | fs ->
+          Alcotest.fail
+            (Printf.sprintf "%s: expected 1 finding, got %d" call
+               (List.length fs)))
+    [ "Unix.gettimeofday"; "Unix.time"; "Sys.time"; "Random.self_init" ]
+
+let test_determinism_exempt_in_bin () =
+  let src = "let () = Printf.printf \"%.2f\" (Sys.time ())\n" in
+  Alcotest.(check int) "bin/ may read the wall clock" 0
+    (List.length (scan ~path:"bin/snfs_check.ml" src))
+
+let test_determinism_word_boundaries () =
+  (* substrings inside longer identifiers must not trip the rule *)
+  let src = "let x = My_unix.gettimeofday_count\nlet y = sys_time_ish\n" in
+  Alcotest.(check int) "no false positive on compound identifiers" 0
+    (List.length (scan ~path:"lib/a.ml" src))
+
+let test_hashtbl_order_fires () =
+  let src =
+    "let flush t =\n\
+    \  Hashtbl.iter (fun target cb -> deliver_callback target cb) t.pending\n"
+  in
+  match scan ~path:"lib/srv/cb.ml" src with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "hashtbl-order" f.L.f_rule;
+      Alcotest.(check int) "line" 2 f.L.f_line
+  | fs ->
+      Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length fs))
+
+let test_hashtbl_order_sorted_ok () =
+  let src =
+    "let flush t =\n\
+    \  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.pending []\n\
+    \  |> List.sort compare\n\
+    \  |> List.iter (fun (target, cb) -> deliver_callback target cb)\n"
+  in
+  Alcotest.(check int) "a sort in the window suppresses the finding" 0
+    (List.length (scan ~path:"lib/srv/cb.ml" src))
+
+let test_hashtbl_order_no_sink_ok () =
+  let src = "let size t = Hashtbl.fold (fun _ _ n -> n + 1) t.blocks 0\n" in
+  Alcotest.(check int) "iteration without an emission sink is fine" 0
+    (List.length (scan ~path:"lib/srv/cb.ml" src))
+
+let test_waiver () =
+  let src =
+    "let flush t =\n\
+    \  (* snfs-lint: allow hashtbl-order *)\n\
+    \  Hashtbl.iter (fun target cb -> deliver_callback target cb) t.pending\n"
+  in
+  Alcotest.(check int) "waiver comment on the preceding line" 0
+    (List.length (scan ~path:"lib/srv/cb.ml" src));
+  let wrong =
+    "let flush t =\n\
+    \  (* snfs-lint: allow determinism *)\n\
+    \  Hashtbl.iter (fun target cb -> deliver_callback target cb) t.pending\n"
+  in
+  Alcotest.(check int) "waiver is per-rule" 1
+    (List.length (scan ~path:"lib/srv/cb.ml" wrong))
+
+let test_strings_and_comments_inert () =
+  let src =
+    "(* Unix.gettimeofday would be wrong here; Hashtbl.iter emit *)\n\
+     let doc = \"call Sys.time () and deliver_callback via Hashtbl.iter\"\n\
+     let c = 'S'\n\
+     (* nested (* Random.self_init *) still a comment *)\n"
+  in
+  Alcotest.(check int) "comments, strings, char literals are stripped" 0
+    (List.length (scan ~path:"lib/a.ml" src))
+
+let test_missing_mli () =
+  let fs =
+    L.check_mli_pairs
+      [ "lib/core/state_table.ml"; "lib/core/state_table.mli"; "lib/core/lone.ml" ]
+  in
+  match fs with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "missing-mli" f.L.f_rule;
+      Alcotest.(check string) "path" "lib/core/lone.ml" f.L.f_path
+  | _ -> Alcotest.fail "expected exactly the interface-less module"
+
+let test_finding_format () =
+  let f =
+    { L.f_path = "lib/a.ml"; f_line = 12; f_rule = "determinism"; f_message = "m" }
+  in
+  Alcotest.(check string) "GNU error format (editor-parseable)"
+    "lib/a.ml:12: error: [determinism] m" (L.to_string f)
+
+let test_tree_is_clean () =
+  (* the tests run from _build/default/test; ".." is the built source
+     tree, which must be lint-clean — the same property @lint enforces *)
+  let findings = L.scan_tree ".." in
+  List.iter (fun f -> print_endline (L.to_string f)) findings;
+  Alcotest.(check int) "repository tree is lint-clean" 0 (List.length findings)
+
+let test_strip_positions () =
+  (* stripping must preserve line structure so findings point at the
+     right line *)
+  let src = "(* a\n   b *)\nlet x = 1\n" in
+  let stripped = L.strip src in
+  Alcotest.(check int) "same length" (String.length src)
+    (String.length stripped);
+  Alcotest.(check bool) "newlines preserved" true
+    (String.index_from stripped 0 '\n' = String.index_from src 0 '\n')
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "wall-clock and RNG calls fire" `Quick
+            test_determinism_fires;
+          Alcotest.test_case "bin/ is exempt" `Quick
+            test_determinism_exempt_in_bin;
+          Alcotest.test_case "word boundaries respected" `Quick
+            test_determinism_word_boundaries;
+        ] );
+      ( "hashtbl-order",
+        [
+          Alcotest.test_case "unsorted iteration into a sink fires" `Quick
+            test_hashtbl_order_fires;
+          Alcotest.test_case "sorted pipeline is quiet" `Quick
+            test_hashtbl_order_sorted_ok;
+          Alcotest.test_case "no sink, no finding" `Quick
+            test_hashtbl_order_no_sink_ok;
+          Alcotest.test_case "waiver comment" `Quick test_waiver;
+        ] );
+      ( "hygiene",
+        [
+          Alcotest.test_case "strings/comments/chars are inert" `Quick
+            test_strings_and_comments_inert;
+          Alcotest.test_case "strip preserves positions" `Quick
+            test_strip_positions;
+          Alcotest.test_case "missing .mli" `Quick test_missing_mli;
+          Alcotest.test_case "finding format" `Quick test_finding_format;
+          Alcotest.test_case "tree is clean" `Quick test_tree_is_clean;
+        ] );
+    ]
