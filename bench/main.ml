@@ -68,6 +68,33 @@ let latency_section () =
   print_string (Obs.Latency.table latencies);
   print_newline ()
 
+(* ---- part 1c: metrics flight report ---- *)
+
+(* the same SNFS Andrew run seen through the metrics registry: resource
+   utilization, cache behaviour and consistency actions in one place *)
+let metrics_section () =
+  print_endline
+    "=====================================================================";
+  print_endline " Metrics: registry flight report, SNFS Andrew run";
+  print_endline
+    "=====================================================================\n";
+  let m = Obs.Metrics.create () in
+  let latencies =
+    Experiments.Driver.run ~metrics:m (fun engine ->
+        let tb =
+          Experiments.Testbed.create engine
+            ~protocol:
+              (Experiments.Testbed.Snfs_proto Snfs.Snfs_client.default_config)
+            ~tmp:Experiments.Testbed.Tmp_remote ()
+        in
+        let ctx = Experiments.Testbed.ctx tb in
+        let config = Workload.Andrew.default_config in
+        let tree = Workload.Andrew.setup ctx config in
+        ignore (Workload.Andrew.run ctx config tree);
+        Netsim.Rpc.latencies (Experiments.Testbed.rpc tb))
+  in
+  print_string (Obs.Metrics.report ~latency:latencies m)
+
 (* ---- part 2: Bechamel ---- *)
 
 (* one Test.make per table: the workload is the entire simulated
@@ -252,6 +279,7 @@ let run_bechamel tests =
 let () =
   reproduce ();
   latency_section ();
+  metrics_section ();
   print_endline
     "=====================================================================";
   print_endline " Bechamel microbenchmarks (host-CPU cost, not simulated time)";

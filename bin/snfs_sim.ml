@@ -101,26 +101,68 @@ let latency_arg =
   let doc = "Print the per-procedure RPC round-trip latency table." in
   Arg.(value & flag & info [ "latency-table" ] ~doc)
 
-let with_observability ~trace_file ~latency_table f =
-  (* open the output before the (possibly long) run so a bad path fails
-     in milliseconds, not after the whole simulation *)
-  let sink =
-    Option.map
-      (fun path ->
-        match open_out path with
-        | oc -> (path, oc)
-        | exception Sys_error msg ->
-            Printf.eprintf "snfs_sim: cannot write trace file: %s\n" msg;
-            exit 1)
-      trace_file
+let metrics_arg =
+  let doc =
+    "Export the run's metrics registry to $(docv) (format chosen by \
+     $(b,--metrics-format))."
   in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let metrics_format_arg =
+  let doc =
+    "Metrics export format: prom (Prometheus text exposition, \
+     point-in-time) or csv (sampled time series)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("prom", `Prom); ("csv", `Csv) ]) `Prom
+    & info [ "metrics-format" ] ~docv:"FMT" ~doc)
+
+let report_arg =
+  let doc =
+    "Print a plain-text flight report (counters, gauges, histograms, RPC \
+     latency) after the run."
+  in
+  Arg.(value & flag & info [ "report" ] ~doc)
+
+let with_observability ~trace_file ~latency_table ~metrics_file ~metrics_format
+    ~report f =
+  (* open the outputs before the (possibly long) run so a bad path fails
+     in milliseconds, not after the whole simulation *)
+  let open_sink path =
+    match open_out path with
+    | oc -> (path, oc)
+    | exception Sys_error msg ->
+        Printf.eprintf "snfs_sim: cannot write output file: %s\n" msg;
+        exit 1
+  in
+  let sink = Option.map open_sink trace_file in
+  let msink = Option.map open_sink metrics_file in
   let tracer = Option.map (fun _ -> Obs.Trace.create ()) sink in
-  let latencies = f ?trace:tracer () in
+  let metrics =
+    if Option.is_some msink || report then Some (Obs.Metrics.create ())
+    else None
+  in
+  let latencies = f ?trace:tracer ?metrics () in
   (match (tracer, sink) with
   | Some tr, Some (path, oc) ->
       output_string oc (Obs.Chrome.to_string tr);
       close_out oc;
       Printf.printf "trace: %d events -> %s\n" (Obs.Trace.count tr) path
+  | _ -> ());
+  (match (metrics, msink) with
+  | Some m, Some (path, oc) ->
+      output_string oc
+        (match metrics_format with
+        | `Prom -> Obs.Metrics.to_prometheus m
+        | `Csv -> Obs.Metrics.to_csv m);
+      close_out oc;
+      Printf.printf "metrics: %s -> %s\n"
+        (match metrics_format with `Prom -> "prometheus" | `Csv -> "csv")
+        path
+  | _ -> ());
+  (match metrics with
+  | Some m when report -> print_string (Obs.Metrics.report ~latency:latencies m)
   | _ -> ());
   if latency_table then print_string (Obs.Latency.table latencies)
 
@@ -129,15 +171,18 @@ let andrew_cmd, andrew_term =
     let doc = "Where /tmp lives: local or remote." in
     Arg.(value & opt string "remote" & info [ "tmp" ] ~docv:"WHERE" ~doc)
   in
-  let run protocol tmp no_update trace_file latency_table =
+  let run protocol tmp no_update trace_file latency_table metrics_file
+      metrics_format report =
     let tmp =
       match tmp with
       | "local" -> Experiments.Testbed.Tmp_local
       | _ -> Experiments.Testbed.Tmp_remote
     in
-    with_observability ~trace_file ~latency_table @@ fun ?trace () ->
+    with_observability ~trace_file ~latency_table ~metrics_file ~metrics_format
+      ~report
+    @@ fun ?trace ?metrics () ->
     let phases, counts, latencies =
-      Experiments.Driver.run ?trace (fun engine ->
+      Experiments.Driver.run ?trace ?metrics (fun engine ->
           let tb =
             Experiments.Testbed.create engine ~protocol ~tmp
               ~update_interval:(if no_update then None else Some 30.0)
@@ -170,7 +215,7 @@ let andrew_cmd, andrew_term =
   let term =
     Term.(
       const run $ protocol_arg $ tmp_arg $ update_arg $ trace_arg
-      $ latency_arg)
+      $ latency_arg $ metrics_arg $ metrics_format_arg $ report_arg)
   in
   (Cmd.v (Cmd.info "andrew" ~doc:"Run the Andrew benchmark once.") term, term)
 
@@ -179,10 +224,13 @@ let sort_cmd =
     let doc = "Input size in kilobytes." in
     Arg.(value & opt int 2816 & info [ "input-kb" ] ~docv:"KB" ~doc)
   in
-  let run protocol input_kb no_update trace_file latency_table =
-    with_observability ~trace_file ~latency_table @@ fun ?trace () ->
+  let run protocol input_kb no_update trace_file latency_table metrics_file
+      metrics_format report =
+    with_observability ~trace_file ~latency_table ~metrics_file ~metrics_format
+      ~report
+    @@ fun ?trace ?metrics () ->
     let r =
-      Experiments.Sort_exp.run_sort ?trace ~protocol
+      Experiments.Sort_exp.run_sort ?trace ?metrics ~protocol
         ~update:(if no_update then None else Some 30.0)
         ~input_kb
         ~label:(Experiments.Testbed.protocol_name protocol)
@@ -202,7 +250,7 @@ let sort_cmd =
     (Cmd.info "sort" ~doc:"Run the external-sort benchmark once.")
     Term.(
       const run $ protocol_arg $ size_arg $ update_arg $ trace_arg
-      $ latency_arg)
+      $ latency_arg $ metrics_arg $ metrics_format_arg $ report_arg)
 
 let sharing_cmd =
   let run () = print_string (Experiments.Sharing_exp.table ()) in

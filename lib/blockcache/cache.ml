@@ -41,24 +41,45 @@ type t = {
 
 let create engine ~name ~capacity_blocks ~block_size backend =
   if capacity_blocks <= 0 then invalid_arg "Cache.create: capacity must be > 0";
-  {
-    engine;
-    name;
-    capacity = capacity_blocks;
-    block_size;
-    backend;
-    files = Hashtbl.create 64;
-    count = 0;
-    lru_head = None;
-    lru_tail = None;
-    pending = Hashtbl.create 16;
-    hits = 0;
-    misses = 0;
-    writebacks = 0;
-    writes_averted = 0;
-    evictions = 0;
-    syncer_started = false;
-  }
+  let t =
+    {
+      engine;
+      name;
+      capacity = capacity_blocks;
+      block_size;
+      backend;
+      files = Hashtbl.create 64;
+      count = 0;
+      lru_head = None;
+      lru_tail = None;
+      pending = Hashtbl.create 16;
+      hits = 0;
+      misses = 0;
+      writebacks = 0;
+      writes_averted = 0;
+      evictions = 0;
+      syncer_started = false;
+    }
+  in
+  Obs.Metrics.register_poll
+    ~labels:[ ("cache", name) ]
+    "cache_resident_blocks"
+    (fun () -> float_of_int t.count);
+  Obs.Metrics.register_poll
+    ~labels:[ ("cache", name) ]
+    "cache_dirty_blocks"
+    (fun () ->
+      (* a count is order-independent, so the unsorted table walk is
+         deterministic *)
+      Hashtbl.fold
+        (fun _ per_file acc ->
+          Hashtbl.fold
+            (fun _ b acc ->
+              match b.w with Dirty _ | Writing _ -> acc + 1 | Clean -> acc)
+            per_file acc)
+        t.files 0
+      |> float_of_int);
+  t
 
 let name t = t.name
 let block_size t = t.block_size
@@ -74,6 +95,10 @@ let resident_blocks t = t.count
    the block's (file, index) address only — never its stamp, which is a
    process-global counter and would break trace determinism across runs
    in one process. *)
+let cache_incr t metric =
+  if Obs.Metrics.on () then
+    Obs.Metrics.incr ~labels:[ ("cache", t.name) ] metric
+
 let cache_event t name ~file ~index =
   if Obs.Trace.on () then
     Obs.Trace.instant
@@ -174,6 +199,7 @@ let rec do_writeback t b =
       let st = Writing { redirtied = None } in
       b.w <- st;
       t.writebacks <- t.writebacks + 1;
+      cache_incr t "cache_writebacks_total";
       cache_event t "writeback" ~file:b.bfile ~index:b.bindex;
       t.backend.write_block ~file:b.bfile ~index:b.bindex ~stamp:b.stamp
         ~len:b.len;
@@ -215,6 +241,7 @@ let rec ensure_capacity t =
         (match find t ~file:b.bfile ~index:b.bindex with
         | Some b' when b' == b && evictable b && b.w = Clean ->
             t.evictions <- t.evictions + 1;
+            cache_incr t "cache_evictions_total";
             cache_event t "evict" ~file:b.bfile ~index:b.bindex;
             table_remove t b
         | _ -> ());
@@ -280,6 +307,7 @@ let read t ~file ~index =
   match find t ~file ~index with
   | Some b -> (
       cache_event t "hit" ~file ~index;
+      cache_incr t "cache_hits_total";
       match b.fetching with
       | Some iv ->
           t.hits <- t.hits + 1;
@@ -290,6 +318,7 @@ let read t ~file ~index =
           (b.stamp, b.len))
   | None ->
       t.misses <- t.misses + 1;
+      cache_incr t "cache_misses_total";
       cache_event t "miss" ~file ~index;
       ensure_capacity t;
       (* recheck: someone may have inserted it while we evicted *)
@@ -379,6 +408,7 @@ let drop_block t ~file ~index =
       match (b.w, b.fetching) with
       | Dirty _, _ ->
           t.writes_averted <- t.writes_averted + 1;
+          cache_incr t "cache_writes_averted_total";
           b.w <- Clean;
           table_remove t b
       | Writing _, _ -> b.doomed <- true
@@ -427,6 +457,7 @@ let cancel_dirty t ~file =
       | Dirty _, _ ->
           incr averted;
           t.writes_averted <- t.writes_averted + 1;
+          cache_incr t "cache_writes_averted_total";
           b.w <- Clean;
           table_remove t b
       | Writing _, _ -> b.doomed <- true (* in flight; dropped on completion *)

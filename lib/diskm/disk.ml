@@ -47,13 +47,29 @@ let read ?at t ~bytes =
   if bytes < 0 then invalid_arg "Disk.read: negative size";
   t.reads <- t.reads + 1;
   t.bytes_read <- t.bytes_read + bytes;
-  Sim.Resource.use t.arm (service_time t ~at bytes)
+  let dur = service_time t ~at bytes in
+  if Obs.Metrics.on () then begin
+    Obs.Metrics.incr ~labels:[ ("device", t.name) ] "disk_reads_total";
+    Obs.Metrics.incr
+      ~labels:[ ("device", t.name) ]
+      ~n:bytes "disk_bytes_read_total";
+    Obs.Metrics.observe ~labels:[ ("device", t.name) ] "disk_io_seconds" dur
+  end;
+  Sim.Resource.use t.arm dur
 
 let write ?at t ~bytes =
   if bytes < 0 then invalid_arg "Disk.write: negative size";
   t.writes <- t.writes + 1;
   t.bytes_written <- t.bytes_written + bytes;
-  Sim.Resource.use t.arm (service_time t ~at bytes)
+  let dur = service_time t ~at bytes in
+  if Obs.Metrics.on () then begin
+    Obs.Metrics.incr ~labels:[ ("device", t.name) ] "disk_writes_total";
+    Obs.Metrics.incr
+      ~labels:[ ("device", t.name) ]
+      ~n:bytes "disk_bytes_written_total";
+    Obs.Metrics.observe ~labels:[ ("device", t.name) ] "disk_io_seconds" dur
+  end;
+  Sim.Resource.use t.arm dur
 
 let reads t = t.reads
 let writes t = t.writes

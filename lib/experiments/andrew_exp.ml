@@ -176,7 +176,8 @@ let table_5_2 () =
 (* ---- Figures 5-1 / 5-2 ---- *)
 
 let figure ~title variant =
-  Driver.run (fun engine ->
+  (* the monitor is a registry consumer, so the run needs one installed *)
+  Driver.run ~metrics:(Obs.Metrics.create ()) (fun engine ->
       let tb =
         Testbed.create engine ~protocol:variant.protocol ~tmp:variant.tmp ()
       in

@@ -8,6 +8,23 @@
     With [?trace], the tracer is installed for the duration of the run
     (and uninstalled afterwards, even on exception): every instrumented
     layer — rpc, net, caches, protocol clients and servers — appends
-    its events to it. *)
+    its events to it.
 
-val run : ?trace:Obs.Trace.t -> (Sim.Engine.t -> 'a) -> 'a
+    With [?metrics], the registry is installed the same way — before
+    the engine is created, so creation-time instruments (resource
+    polls, cache occupancy) register properly — unless the caller
+    already installed that same registry around a larger scope, in
+    which case it is left alone. Whenever a registry is installed
+    (through this argument or by the caller), a sampler daemon
+    snapshots it into time-series bins every [?sample_interval]
+    (default 5.0) simulated seconds; sampling is started on first use
+    and continues across runs sharing one registry. *)
+
+val default_sample_interval : float
+
+val run :
+  ?trace:Obs.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
+  ?sample_interval:float ->
+  (Sim.Engine.t -> 'a) ->
+  'a

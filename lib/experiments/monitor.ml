@@ -6,6 +6,14 @@ type t = {
 }
 
 let attach engine ~host ~service ~bin =
+  let m =
+    match Obs.Metrics.installed () with
+    | Some m -> m
+    | None ->
+        invalid_arg
+          "Monitor.attach: requires an installed Obs.Metrics registry (run \
+           the experiment with Driver.run ~metrics)"
+  in
   let t =
     {
       util = Stats.Timeseries.create ~bin "cpu-util";
@@ -16,23 +24,47 @@ let attach engine ~host ~service ~bin =
   in
   (* all series are relative to the attach instant *)
   let t0 = Sim.Engine.now engine in
-  Netsim.Rpc.set_observer service (fun ~proc ->
-      let time = Sim.Engine.now engine -. t0 in
-      Stats.Timeseries.add t.calls ~time 1.0;
-      if proc = Nfs.Wire.p_read then Stats.Timeseries.add t.reads ~time 1.0;
-      if proc = Nfs.Wire.p_write then Stats.Timeseries.add t.writes ~time 1.0);
-  let cpu = Netsim.Net.Host.cpu host in
-  let rec sample last_busy () =
+  let prog = Netsim.Rpc.service_prog service in
+  let server = Netsim.Net.Host.name (Netsim.Rpc.service_host service) in
+  let cpu_name = Sim.Resource.name (Netsim.Net.Host.cpu host) in
+  let busy () =
+    Obs.Metrics.gauge_value m "sim_resource_busy_seconds"
+      ~labels:[ ("resource", cpu_name) ]
+  in
+  let calls_of proc =
+    Obs.Metrics.counter_value m "rpc_server_calls_total"
+      ~labels:[ ("host", server); ("prog", prog); ("proc", proc) ]
+  in
+  (* every proc executed by this service, i.e. this prog on this host
+     (callback progs served by clients carry other labels) *)
+  let total_calls () =
+    List.fold_left
+      (fun acc (labels, v) ->
+        if List.mem ("host", server) labels && List.mem ("prog", prog) labels
+        then acc + v
+        else acc)
+      0
+      (Obs.Metrics.counters_with m "rpc_server_calls_total")
+  in
+  (* per-bin deltas of the registry's cumulative instruments, attributed
+     to the bin that just ended *)
+  let rec sample (b0, c0, r0, w0) () =
     Sim.Engine.sleep engine bin;
-    let busy = Sim.Resource.busy_time cpu in
-    (* attribute the whole bin's busy delta to the bin that just ended *)
-    Stats.Timeseries.add t.util
-      ~time:(Sim.Engine.now engine -. t0 -. (bin /. 2.0))
-      (busy -. last_busy);
-    sample busy ()
+    let time = Sim.Engine.now engine -. t0 -. (bin /. 2.0) in
+    let b = busy ()
+    and c = total_calls ()
+    and r = calls_of Nfs.Wire.p_read
+    and w = calls_of Nfs.Wire.p_write in
+    Stats.Timeseries.add t.util ~time (b -. b0);
+    Stats.Timeseries.add t.calls ~time (float_of_int (c - c0));
+    Stats.Timeseries.add t.reads ~time (float_of_int (r - r0));
+    Stats.Timeseries.add t.writes ~time (float_of_int (w - w0));
+    sample (b, c, r, w) ()
   in
   Sim.Engine.spawn engine ~name:"monitor.sampler"
-    (sample (Sim.Resource.busy_time cpu));
+    (sample
+       (busy (), total_calls (), calls_of Nfs.Wire.p_read,
+        calls_of Nfs.Wire.p_write));
   t
 
 let rows t ~until =

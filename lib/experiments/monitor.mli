@@ -1,8 +1,14 @@
 (** Server-utilization and call-rate monitoring for Figures 5-1/5-2.
 
-    Attaches an observer to the RPC service (counting total, read and
-    write calls per time bin) and a sampler process that accumulates
-    the server CPU's busy time per bin. *)
+    A registry consumer: a sampler process reads the installed
+    {!Obs.Metrics} registry once per bin and turns the cumulative
+    instruments ([sim_resource_busy_seconds] for the server CPU,
+    [rpc_server_calls_total] for total / read / write calls of the
+    monitored service) into per-bin deltas.
+
+    {!attach} therefore requires a registry to be installed — run the
+    experiment with [Driver.run ~metrics] (which also registers the
+    instruments before the testbed is built). *)
 
 type t = {
   util : Stats.Timeseries.t;  (** busy seconds per bin *)

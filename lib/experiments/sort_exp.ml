@@ -13,8 +13,9 @@ let sort_config ~input_kb =
     input_bytes = input_kb * 1024;
   }
 
-let run_sort ?trace ~protocol ?(update = Some 30.0) ~input_kb ~label () =
-  Driver.run ?trace (fun engine ->
+let run_sort ?trace ?metrics ~protocol ?(update = Some 30.0) ~input_kb ~label
+    () =
+  Driver.run ?trace ?metrics (fun engine ->
       let tb =
         Testbed.create engine ~protocol ~tmp:Testbed.Tmp_remote
           ~update_interval:update ()

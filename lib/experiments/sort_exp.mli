@@ -11,9 +11,11 @@ type run_result = {
 
 (** Run the sort once: [input_kb] of input, temporaries on the given
     protocol's /usr_tmp. [update] is the /etc/update interval option.
-    [trace] installs a tracer for the duration of the run. *)
+    [trace] installs a tracer for the duration of the run; [metrics]
+    a registry (sampled by {!Driver.run}). *)
 val run_sort :
   ?trace:Obs.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
   protocol:Testbed.protocol ->
   ?update:float option ->
   input_kb:int ->

@@ -75,6 +75,10 @@ let vn_of t (g : gnode) =
 let acquire t g ~index ~len =
   if not (Hashtbl.mem g.owned index) then begin
     t.acquires <- t.acquires + 1;
+    if Obs.Metrics.on () then
+      Obs.Metrics.incr
+        ~labels:[ ("host", Netsim.Net.Host.name t.client) ]
+        "kent_acquires_total";
     proto_event t "acquire"
       [ ("ino", Obs.Trace.Int g.g_ino); ("index", Obs.Trace.Int index) ];
     let e = Xdr.Enc.create () in
@@ -213,6 +217,10 @@ let handle_callback t dec =
   let invalidate = Xdr.Dec.bool dec in
   let ino = fh.Nfs.Wire.ino in
   t.callbacks_served <- t.callbacks_served + 1;
+  if Obs.Metrics.on () then
+    Obs.Metrics.incr
+      ~labels:[ ("host", Netsim.Net.Host.name t.client) ]
+      "kent_callbacks_served_total";
   proto_event t "callback"
     [
       ("ino", Obs.Trace.Int ino);

@@ -54,8 +54,15 @@ let block_callback t ~ino ~index ~target ~writeback ~invalidate =
   Xdr.Enc.uint32 e index;
   Xdr.Enc.bool e writeback;
   Xdr.Enc.bool e invalidate;
-  if invalidate then t.invalidations <- t.invalidations + 1;
-  if writeback then t.recalls <- t.recalls + 1;
+  if invalidate then begin
+    t.invalidations <- t.invalidations + 1;
+    if Obs.Metrics.on () then
+      Obs.Metrics.incr "kent_invalidations_sent_total"
+  end;
+  if writeback then begin
+    t.recalls <- t.recalls + 1;
+    if Obs.Metrics.on () then Obs.Metrics.incr "kent_recalls_sent_total"
+  end;
   if Obs.Trace.on () then
     Obs.Trace.instant
       ~ts:(Sim.Engine.now (Netsim.Net.engine (Netsim.Rpc.net t.rpc)))

@@ -138,6 +138,12 @@ let send t ~src ~dst ~bytes ~deliver =
     t.messages_sent <- t.messages_sent + 1;
     let wire_bytes = bytes + t.params.header_bytes in
     t.bytes_sent <- t.bytes_sent + wire_bytes;
+    if Obs.Metrics.on () then begin
+      Obs.Metrics.incr ~labels:[ ("host", src.hname) ] "net_messages_total";
+      Obs.Metrics.incr
+        ~labels:[ ("host", src.hname) ]
+        ~n:wire_bytes "net_bytes_total"
+    end;
     let dropped =
       partitioned t src dst
       || (t.drop_prob > 0.0 && Sim.Rand.float t.rand < t.drop_prob)
@@ -162,6 +168,10 @@ let send t ~src ~dst ~bytes ~deliver =
         Sim.Engine.sleep t.engine delay;
         if dropped then begin
           t.messages_dropped <- t.messages_dropped + 1;
+          if Obs.Metrics.on () then
+            Obs.Metrics.incr
+              ~labels:[ ("host", src.hname) ]
+              "net_messages_dropped_total";
           if Obs.Trace.on () then
             Obs.Trace.instant ~ts:(Sim.Engine.now t.engine) ~cat:"net"
               ~name:"drop" ~track:"net"

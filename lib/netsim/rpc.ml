@@ -34,7 +34,6 @@ type service = {
   counts : Stats.Counter.t;
   mutable executed : int; (* calls actually run (duplicates suppressed) *)
   mutable duplicates : int; (* retransmissions absorbed by the dup cache *)
-  mutable observer : (proc:string -> unit) option;
   mutable on_restart : (unit -> unit) option;
   mutable epoch_seen : int;
 }
@@ -46,17 +45,24 @@ type t = {
   latencies : Obs.Latency.t;
   mutable next_xid : int;
   mutable retransmissions : int;
+  mutable in_flight : int;
 }
 
 let create net ?(config = default_config) () =
-  {
-    net;
-    config;
-    services = Hashtbl.create 8;
-    latencies = Obs.Latency.create ();
-    next_xid = 1;
-    retransmissions = 0;
-  }
+  let t =
+    {
+      net;
+      config;
+      services = Hashtbl.create 8;
+      latencies = Obs.Latency.create ();
+      next_xid = 1;
+      retransmissions = 0;
+      in_flight = 0;
+    }
+  in
+  Obs.Metrics.register_poll "rpc_client_in_flight" (fun () ->
+      float_of_int t.in_flight);
+  t
 
 let net t = t.net
 let config t = t.config
@@ -80,19 +86,22 @@ let serve t host ~prog ~threads handler =
           counts = Stats.Counter.create ();
           executed = 0;
           duplicates = 0;
-          observer = None;
           on_restart = None;
           epoch_seen = Net.Host.boot_epoch host;
         }
       in
       Hashtbl.replace t.services key svc;
+      Obs.Metrics.register_poll
+        ~labels:[ ("host", Net.Host.name host); ("prog", prog) ]
+        "rpc_dup_cache_entries"
+        (fun () -> float_of_int (Hashtbl.length svc.dup_cache));
       svc
 
 let service_host svc = svc.host
+let service_prog svc = svc.prog
 let counters svc = svc.counts
 let executed_count svc = svc.executed
 let duplicate_count svc = svc.duplicates
-let set_observer svc f = svc.observer <- Some f
 let set_on_restart svc f = svc.on_restart <- Some f
 let thread_pool svc = svc.pool
 
@@ -115,6 +124,10 @@ let handle_request t svc ~caller ~xid ~proc ~args ~bulk ~reply_to =
   | Some In_progress ->
       (* retransmission of a call being served: drop *)
       svc.duplicates <- svc.duplicates + 1;
+      if Obs.Metrics.on () then
+        Obs.Metrics.incr
+          ~labels:[ ("host", Net.Host.name svc.host); ("prog", svc.prog) ]
+          "rpc_duplicates_total";
       if Obs.Trace.on () then
         Obs.Trace.instant ~ts:(server_now svc) ~cat:"rpc" ~name:"dup_drop"
           ~track:(Net.Host.name svc.host)
@@ -125,6 +138,10 @@ let handle_request t svc ~caller ~xid ~proc ~args ~bulk ~reply_to =
   | Some (Done reply) ->
       (* replay cached reply *)
       svc.duplicates <- svc.duplicates + 1;
+      if Obs.Metrics.on () then
+        Obs.Metrics.incr
+          ~labels:[ ("host", Net.Host.name svc.host); ("prog", svc.prog) ]
+          "rpc_duplicates_total";
       if Obs.Trace.on () then
         Obs.Trace.instant ~ts:(server_now svc) ~cat:"rpc" ~name:"dup_replay"
           ~track:(Net.Host.name svc.host)
@@ -140,9 +157,17 @@ let handle_request t svc ~caller ~xid ~proc ~args ~bulk ~reply_to =
           Sim.Semaphore.with_unit svc.pool (fun () ->
               Stats.Counter.incr svc.counts proc;
               svc.executed <- svc.executed + 1;
-              (match svc.observer with
-              | Some f -> f ~proc
-              | None -> ());
+              (* same site as the legacy Stats.Counter path, so the
+                 registry and the counter tables can never disagree *)
+              if Obs.Metrics.on () then
+                Obs.Metrics.incr
+                  ~labels:
+                    [
+                      ("host", Net.Host.name svc.host);
+                      ("prog", svc.prog);
+                      ("proc", proc);
+                    ]
+                  "rpc_server_calls_total";
               let sp =
                 if Obs.Trace.on () then
                   Obs.Trace.span ~ts:(server_now svc) ~cat:"rpc"
@@ -228,6 +253,14 @@ let call t ?config ~src ~dst ~prog ~proc ?(bulk = 0) args =
     | None ->
         if n >= config.retries then begin
           let now = Sim.Engine.now engine in
+          (* the failed call is part of the latency story too: record
+             the time wasted before giving up under its own outcome *)
+          Obs.Latency.record t.latencies ~outcome:Obs.Latency.Timeout ~prog
+            ~proc (now -. issued);
+          if Obs.Metrics.on () then
+            Obs.Metrics.incr
+              ~labels:[ ("prog", prog); ("proc", proc) ]
+              "rpc_timeouts_total";
           if Obs.Trace.on () then
             Obs.Trace.instant ~ts:now ~cat:"rpc" ~name:"timeout" ~track
               ~args:
@@ -242,6 +275,10 @@ let call t ?config ~src ~dst ~prog ~proc ?(bulk = 0) args =
         end
         else begin
           t.retransmissions <- t.retransmissions + 1;
+          if Obs.Metrics.on () then
+            Obs.Metrics.incr
+              ~labels:[ ("prog", prog); ("proc", proc) ]
+              "rpc_retransmits_total";
           if Obs.Trace.on () then
             Obs.Trace.instant ~ts:(Sim.Engine.now engine) ~cat:"rpc"
               ~name:"retransmit" ~track
@@ -253,4 +290,7 @@ let call t ?config ~src ~dst ~prog ~proc ?(bulk = 0) args =
           attempt (n + 1) (timeout *. config.backoff)
         end
   in
-  attempt 0 config.timeout
+  t.in_flight <- t.in_flight + 1;
+  Fun.protect
+    ~finally:(fun () -> t.in_flight <- t.in_flight - 1)
+    (fun () -> attempt 0 config.timeout)

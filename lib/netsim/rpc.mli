@@ -50,6 +50,9 @@ val serve : t -> Net.Host.t -> prog:string -> threads:int -> handler -> service
 
 val service_host : service -> Net.Host.t
 
+(** The program name the service was registered under. *)
+val service_prog : service -> string
+
 (** Counts of calls actually executed (duplicates suppressed), by
     procedure name. *)
 val counters : service -> Stats.Counter.t
@@ -61,9 +64,6 @@ val executed_count : service -> int
     dropped while the original was in progress, or answered from the
     cached reply — rather than re-executed. *)
 val duplicate_count : service -> int
-
-(** Observer invoked (at execution start) for every executed call. *)
-val set_observer : service -> (proc:string -> unit) -> unit
 
 (** Invoked when the service first receives traffic after its host
     rebooted; protocol layers reset volatile state here. *)
@@ -97,6 +97,7 @@ val impatient : config -> config
 (** Total retransmissions performed by clients (for failure tests). *)
 val retransmissions : t -> int
 
-(** Round-trip latency histograms, one per [(prog, proc)], fed by every
-    successful {!call}. *)
+(** Round-trip latency histograms, one per [(prog, proc, outcome)]:
+    successful calls under [Success], calls that exhausted their
+    retransmission schedule under [Timeout]. *)
 val latencies : t -> Obs.Latency.t

@@ -91,6 +91,10 @@ let note_attrs ?(probe = true) t (attrs : Localfs.attrs) =
    local truncate) modified the file; drop our copy *)
 let check_mtime t g =
   if g.g_attrs.Localfs.mtime <> g.g_cached_mtime then begin
+    if Obs.Metrics.on () then
+      Obs.Metrics.incr
+        ~labels:[ ("host", Netsim.Net.Host.name t.client) ]
+        "nfs_mtime_invalidations_total";
     proto_event t "mtime_invalidate" [ ("ino", Obs.Trace.Int g.g_ino) ];
     (* our own delayed partial blocks must not be lost *)
     Blockcache.Cache.flush_file t.cache ~file:g.g_ino;
@@ -108,6 +112,10 @@ let attr_timeout t g =
 let refresh_attrs t g =
   if now t -. g.g_fetched > attr_timeout t g then begin
     t.attr_probes <- t.attr_probes + 1;
+    if Obs.Metrics.on () then
+      Obs.Metrics.incr
+        ~labels:[ ("host", Netsim.Net.Host.name t.client) ]
+        "nfs_attr_probes_total";
     proto_event t "attr_probe" [ ("ino", Obs.Trace.Int g.g_ino) ];
     let attrs = Wire.getattr (call t) (fh_of t g) in
     g.g_attrs <- attrs;

@@ -1,50 +1,94 @@
+type outcome = Success | Timeout
+
+let outcome_label = function Success -> "ok" | Timeout -> "timeout"
+
 type t = {
-  tbl : (string * string, Stats.Histogram.t) Hashtbl.t;
-  mutable keys : (string * string) list; (* registration order *)
+  tbl : (string * string * outcome, Stats.Histogram.t) Hashtbl.t;
+  mutable keys : (string * string * outcome) list; (* registration order *)
 }
 
 let create () = { tbl = Hashtbl.create 32; keys = [] }
 
-let histogram t ~prog ~proc =
-  let key = (prog, proc) in
+let histogram_of t ~outcome ~prog ~proc =
+  let key = (prog, proc, outcome) in
   match Hashtbl.find_opt t.tbl key with
   | Some h -> h
   | None ->
-      let h = Stats.Histogram.create (prog ^ "." ^ proc) in
+      let h =
+        Stats.Histogram.create
+          (prog ^ "." ^ proc ^ "." ^ outcome_label outcome)
+      in
       Hashtbl.replace t.tbl key h;
       t.keys <- key :: t.keys;
       h
 
-let record t ~prog ~proc seconds =
-  Stats.Histogram.add (histogram t ~prog ~proc) seconds
+let histogram t ~prog ~proc = histogram_of t ~outcome:Success ~prog ~proc
+
+let record t ?(outcome = Success) ~prog ~proc seconds =
+  Stats.Histogram.add (histogram_of t ~outcome ~prog ~proc) seconds
+
+let find t ~prog ~proc outcome = Hashtbl.find_opt t.tbl (prog, proc, outcome)
+
+let errors t ~prog ~proc =
+  match find t ~prog ~proc Timeout with
+  | Some h -> Stats.Histogram.count h
+  | None -> 0
 
 let to_list t =
-  List.map (fun key -> (key, Hashtbl.find t.tbl key)) t.keys
+  List.filter_map
+    (fun (prog, proc, outcome) ->
+      match outcome with
+      | Success -> Some ((prog, proc), Hashtbl.find t.tbl (prog, proc, outcome))
+      | Timeout -> None)
+    t.keys
   |> List.sort compare
+
+let procs t =
+  List.map (fun (prog, proc, _) -> (prog, proc)) t.keys
+  |> List.sort_uniq compare
 
 let is_empty t = t.keys = []
 
 let total_samples t =
-  List.fold_left (fun acc (_, h) -> acc + Stats.Histogram.count h) 0 (to_list t)
+  List.fold_left
+    (fun acc key -> acc + Stats.Histogram.count (Hashtbl.find t.tbl key))
+    0 t.keys
+
+let total_errors t =
+  List.fold_left
+    (fun acc (prog, proc, outcome) ->
+      match outcome with
+      | Timeout -> acc + errors t ~prog ~proc
+      | Success -> acc)
+    0
+    (List.sort_uniq compare t.keys)
 
 let ms seconds = Printf.sprintf "%.3f" (seconds *. 1e3)
 
 let table t =
+  let zero = Stats.Histogram.create "none" in
   let rows =
     List.map
-      (fun ((prog, proc), h) ->
+      (fun (prog, proc) ->
+        let h =
+          match find t ~prog ~proc Success with Some h -> h | None -> zero
+        in
         [
           prog ^ "." ^ proc;
           string_of_int (Stats.Histogram.count h);
+          string_of_int (errors t ~prog ~proc);
           ms (Stats.Histogram.mean h);
           ms (Stats.Histogram.percentile h 50.0);
           ms (Stats.Histogram.percentile h 90.0);
           ms (Stats.Histogram.percentile h 99.0);
           ms (Stats.Histogram.max_value h);
         ])
-      (to_list t)
+      (procs t)
   in
   Stats.Table.render
     ~header:
-      [ "procedure"; "n"; "mean ms"; "p50 ms"; "p90 ms"; "p99 ms"; "max ms" ]
+      [
+        "procedure"; "n"; "err"; "mean ms"; "p50 ms"; "p90 ms"; "p99 ms";
+        "max ms";
+      ]
     rows

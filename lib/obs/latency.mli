@@ -1,26 +1,54 @@
 (** Per-procedure round-trip latency recording.
 
-    A registry of {!Stats.Histogram}s keyed by [(prog, proc)]. The RPC
-    layer records every successful call's round-trip time here; {!table}
-    renders the per-procedure percentile summary (the "where does the
-    time go" companion to the paper's operation-count tables). *)
+    A registry of {!Stats.Histogram}s keyed by [(prog, proc, outcome)].
+    The RPC layer records every call's round-trip time here — successes
+    under {!Success}, calls that exhausted their retransmission
+    schedule under {!Timeout} — and {!table} renders the per-procedure
+    percentile summary (the "where does the time go" companion to the
+    paper's operation-count tables), with an error column so
+    fault-injection runs show tail behaviour. *)
 
 type t
 
+(** How the call ended. [Timeout] covers calls that gave up after the
+    full retransmission schedule; their recorded duration is the time
+    spent waiting before giving up. *)
+type outcome = Success | Timeout
+
+val outcome_label : outcome -> string
+
 val create : unit -> t
 
-(** Record one sample, in (simulated) seconds. *)
-val record : t -> prog:string -> proc:string -> float -> unit
+(** Record one sample, in (simulated) seconds. [outcome] defaults to
+    [Success]. *)
+val record : t -> ?outcome:outcome -> prog:string -> proc:string -> float -> unit
 
-(** The histogram for one procedure, created empty on first use. *)
+(** The [Success] histogram for one procedure, created empty on first
+    use. *)
 val histogram : t -> prog:string -> proc:string -> Stats.Histogram.t
 
-(** All histograms, sorted by [(prog, proc)]. *)
+(** The histogram for one procedure and outcome, created empty on
+    first use. *)
+val histogram_of :
+  t -> outcome:outcome -> prog:string -> proc:string -> Stats.Histogram.t
+
+(** Timed-out calls recorded for one procedure. *)
+val errors : t -> prog:string -> proc:string -> int
+
+(** All [Success] histograms, sorted by [(prog, proc)]. *)
 val to_list : t -> ((string * string) * Stats.Histogram.t) list
+
+(** All [(prog, proc)] pairs with any recording, sorted. *)
+val procs : t -> (string * string) list
 
 val is_empty : t -> bool
 
+(** Samples across all outcomes. *)
 val total_samples : t -> int
 
-(** Plain-text table: procedure, n, mean/p50/p90/p99/max in ms. *)
+(** Timed-out samples across all procedures. *)
+val total_errors : t -> int
+
+(** Plain-text table: procedure, n (successes), err (timeouts), and
+    mean/p50/p90/p99/max of the successful calls in ms. *)
 val table : t -> string

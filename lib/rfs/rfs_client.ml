@@ -216,6 +216,10 @@ let handle_callback t dec =
   let args = Nfs.Wire.dec_callback dec in
   let ino = args.Nfs.Wire.cb_fh.Nfs.Wire.ino in
   t.invalidations_served <- t.invalidations_served + 1;
+  if Obs.Metrics.on () then
+    Obs.Metrics.incr
+      ~labels:[ ("host", Netsim.Net.Host.name t.client) ]
+      "rfs_invalidations_served_total";
   proto_event t "invalidate" [ ("ino", Obs.Trace.Int ino) ];
   (match Hashtbl.find_opt t.gnodes ino with
   | None -> ()

@@ -57,6 +57,8 @@ let on_write t ~ino ~caller =
               cb_invalidate = true;
             };
           t.invalidations <- t.invalidations + 1;
+          if Obs.Metrics.on () then
+            Obs.Metrics.incr "rfs_invalidations_sent_total";
           if Obs.Trace.on () then
             Obs.Trace.instant
               ~ts:(Sim.Engine.now (Netsim.Net.engine (Netsim.Rpc.net t.rpc)))

@@ -7,7 +7,13 @@ type t = {
 
 type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
 
-let create () = { now = 0.0; seq = 0; stopped = false; queue = Eventq.create () }
+let create () =
+  let t = { now = 0.0; seq = 0; stopped = false; queue = Eventq.create () } in
+  (* registered at creation, so the gauge exists whenever a registry is
+     installed before the world is built (Driver.run arranges this) *)
+  Obs.Metrics.register_poll "sim_event_queue_depth" (fun () ->
+      float_of_int (Eventq.length t.queue));
+  t
 
 let now t = t.now
 
@@ -62,6 +68,7 @@ let run t =
     else begin
       let time, _seq, fn = Eventq.pop t.queue in
       t.now <- time;
+      if Obs.Metrics.on () then Obs.Metrics.incr "sim_events_total";
       fn ()
     end
   done
@@ -78,6 +85,7 @@ let run_until t limit =
     | Some _ ->
         let time, _seq, fn = Eventq.pop t.queue in
         t.now <- time;
+        if Obs.Metrics.on () then Obs.Metrics.incr "sim_events_total";
         fn ()
   done;
   if t.now < limit then t.now <- limit

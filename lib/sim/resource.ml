@@ -10,15 +10,29 @@ type t = {
 
 let create engine ?(capacity = 1) name =
   if capacity <= 0 then invalid_arg "Resource.create: capacity must be > 0";
-  {
-    engine;
-    name;
-    capacity;
-    held = 0;
-    waiters = Queue.create ();
-    busy_accum = 0.0;
-    busy_since = 0.0;
-  }
+  let t =
+    {
+      engine;
+      name;
+      capacity;
+      held = 0;
+      waiters = Queue.create ();
+      busy_accum = 0.0;
+      busy_since = 0.0;
+    }
+  in
+  (* busy time is monotone, so its sampled series holds per-bin deltas
+     (utilization once divided by the bin width); queue depth is a level *)
+  Obs.Metrics.register_poll
+    ~labels:[ ("resource", name) ]
+    ~cumulative:true "sim_resource_busy_seconds" (fun () ->
+      if t.held > 0 then t.busy_accum +. (Engine.now t.engine -. t.busy_since)
+      else t.busy_accum);
+  Obs.Metrics.register_poll
+    ~labels:[ ("resource", name) ]
+    "sim_resource_queue_depth"
+    (fun () -> float_of_int (Queue.length t.waiters));
+  t
 
 let name t = t.name
 let capacity t = t.capacity

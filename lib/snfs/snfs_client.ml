@@ -147,6 +147,18 @@ let take_unsent g ~write =
 
 (* ---- open / close ---- *)
 
+let note_cache_mode t g enabled =
+  (* a Table 4-1 consistency decision arrived: count actual flips of
+     this client's caching mode *)
+  if Obs.Metrics.on () && g.g_cache_enabled <> enabled then
+    Obs.Metrics.incr
+      ~labels:
+        [
+          ("host", Netsim.Net.Host.name t.client);
+          ("to", (if enabled then "enabled" else "disabled"));
+        ]
+      "snfs_cache_mode_transitions_total"
+
 let process_open_reply t g ~write (r : Nfs.Wire.open_reply) =
   let valid =
     Spritely.Version.valid_for_open ~cached:g.g_cached_version
@@ -163,11 +175,13 @@ let process_open_reply t g ~write (r : Nfs.Wire.open_reply) =
     g.g_attrs <- r.Nfs.Wire.attrs
   end;
   if r.Nfs.Wire.cache_enabled then begin
+    note_cache_mode t g true;
     g.g_cache_enabled <- true;
     g.g_cached_version <- Some r.Nfs.Wire.version
   end
   else begin
     (* write-shared: return valid dirty data, then stop caching *)
+    note_cache_mode t g false;
     if valid then flush_cache t g;
     drop_cache t g;
     Blockcache.Cache.invalidate_file t.cache ~file:g.g_ino;
@@ -179,9 +193,14 @@ let do_open t vn mode =
   let g = gnode t vn.Vfs.Fs.vid in
   g.g_last_read <- -1;
   let write = Vfs.Fs.mode_writes mode in
-  if t.config.delayed_close && take_unsent g ~write then
+  if t.config.delayed_close && take_unsent g ~write then begin
     (* the server still thinks we have this open: reuse it *)
-    t.delayed_close_hits <- t.delayed_close_hits + 1
+    t.delayed_close_hits <- t.delayed_close_hits + 1;
+    if Obs.Metrics.on () then
+      Obs.Metrics.incr
+        ~labels:[ ("host", Netsim.Net.Host.name t.client) ]
+        "snfs_delayed_close_hits_total"
+  end
   else begin
     (* a rebooted server refuses opens during its recovery grace
        period; back off and retry until it is willing *)
@@ -342,6 +361,20 @@ let handle_callback t dec =
   let args = Nfs.Wire.dec_callback dec in
   let ino = args.Nfs.Wire.cb_fh.Nfs.Wire.ino in
   t.callbacks_served <- t.callbacks_served + 1;
+  if Obs.Metrics.on () then
+    Obs.Metrics.incr
+      ~labels:
+        [
+          ("host", Netsim.Net.Host.name t.client);
+          ( "kind",
+            match (args.Nfs.Wire.cb_writeback, args.Nfs.Wire.cb_invalidate)
+            with
+            | true, true -> "writeback_invalidate"
+            | true, false -> "writeback"
+            | false, true -> "invalidate"
+            | false, false -> "noop" );
+        ]
+      "snfs_callbacks_served_total";
   proto_event t "callback"
     [
       ("ino", Obs.Trace.Int ino);

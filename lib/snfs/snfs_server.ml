@@ -36,6 +36,19 @@ let server_event t name args =
       ~track:(Netsim.Net.Host.name t.host)
       ~args ()
 
+(* Count one consistency-state transition, labeled with the Table 4-1
+   state the file just entered. *)
+let note_state t ~file =
+  if Obs.Metrics.on () then
+    Obs.Metrics.incr
+      ~labels:
+        [
+          ( "state",
+            Spritely.State_table.state_to_string
+              (Spritely.State_table.state t.table ~file) );
+        ]
+      "snfs_state_transitions_total"
+
 (* Deliver one callback prescribed by the state table. A dead client
    is forgotten, as Section 3.2 prescribes; its dirty data (if any) is
    lost and the entry stays flagged inconsistent. *)
@@ -57,6 +70,18 @@ let perform_callback t ~file (cb : Spritely.State_table.callback) =
   let e = Xdr.Enc.create () in
   Nfs.Wire.enc_callback e args;
   t.callbacks_sent <- t.callbacks_sent + 1;
+  if Obs.Metrics.on () then
+    Obs.Metrics.incr
+      ~labels:
+        [
+          ( "kind",
+            match (cb.writeback, cb.invalidate) with
+            | true, true -> "writeback_invalidate"
+            | true, false -> "writeback"
+            | false, true -> "invalidate"
+            | false, false -> "relinquish" );
+        ]
+      "snfs_callbacks_sent_total";
   server_event t "callback_send"
     [
       ("file", Obs.Trace.Int file);
@@ -78,6 +103,8 @@ let perform_callback t ~file (cb : Spritely.State_table.callback) =
         Spritely.State_table.note_clean t.table ~file ~client:cb.target
   | exception Netsim.Rpc.Timeout _ ->
       t.callbacks_failed <- t.callbacks_failed + 1;
+      if Obs.Metrics.on () then
+        Obs.Metrics.incr "snfs_callbacks_failed_total";
       server_event t "callback_failed"
         [
           ("file", Obs.Trace.Int file);
@@ -146,6 +173,7 @@ let handle_open t ~caller d =
             ~client:caller ~mode:(mode_of_flag write_mode)
         with
         | result ->
+            note_state t ~file:fh.Nfs.Wire.ino;
             (* the opener must not see the file until the other clients'
                dirty blocks are back and their caches are off *)
             perform_callbacks t ~file:fh.Nfs.Wire.ino
@@ -176,7 +204,8 @@ let handle_close t ~caller d =
      the entry) is harmless; tolerate it *)
   (try
      Spritely.State_table.close_file t.table ~file:fh.Nfs.Wire.ino
-       ~client:caller ~mode:(mode_of_flag write_mode)
+       ~client:caller ~mode:(mode_of_flag write_mode);
+     note_state t ~file:fh.Nfs.Wire.ino
    with Invalid_argument _ -> ());
   let e = Xdr.Enc.create () in
   Nfs.Wire.enc_status e (Ok ());
@@ -316,6 +345,8 @@ let start_client_reaper ?(idle = 120.0) t ~interval =
         (* dead: drop its opens; any dirty data it held is lost and the
            affected files are flagged inconsistent *)
         t.clients_reaped <- t.clients_reaped + 1;
+        if Obs.Metrics.on () then
+          Obs.Metrics.incr "snfs_clients_reaped_total";
         Hashtbl.remove t.last_heard client;
         Spritely.State_table.forget_client t.table client
   in

@@ -20,11 +20,13 @@ let reset t = Hashtbl.reset t
 
 let snapshot t = Hashtbl.copy t
 
+(* A counter [reset] between the two snapshots would otherwise surface
+   as a negative delta and silently poison interval arithmetic. *)
 let diff later earlier =
   let out = create () in
   Hashtbl.iter
     (fun name v ->
       let d = v - get earlier name in
-      if d <> 0 then Hashtbl.replace out name d)
+      if d > 0 then Hashtbl.replace out name d)
     later;
   out

@@ -26,5 +26,8 @@ val reset : t -> unit
 val snapshot : t -> t
 
 (** [diff later earlier] returns a counter set with the per-name
-    difference, for measuring an interval. *)
+    difference, for measuring an interval. Names whose delta is not
+    positive are omitted: in particular a counter that was {!reset}
+    between the snapshots (so [later] is behind [earlier]) is clamped
+    to zero rather than reported as a negative interval. *)
 val diff : t -> t -> t

@@ -147,7 +147,7 @@ let test_scaling_snfs_degrades_slower () =
     <= nfs1.Experiments.Scaling_exp.avg_elapsed *. 1.1)
 
 let test_monitor_rows () =
-  Experiments.Driver.run (fun engine ->
+  Experiments.Driver.run ~metrics:(Obs.Metrics.create ()) (fun engine ->
       let tb =
         Experiments.Testbed.create engine ~protocol:snfs
           ~tmp:Experiments.Testbed.Tmp_remote ()

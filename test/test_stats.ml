@@ -44,6 +44,21 @@ let test_counter_reset () =
   Stats.Counter.reset c;
   Alcotest.(check int) "cleared" 0 (Stats.Counter.total c)
 
+let test_counter_diff_clamped () =
+  let earlier = Stats.Counter.create () in
+  Stats.Counter.incr earlier ~n:5 "read";
+  Stats.Counter.incr earlier ~n:2 "write";
+  let later = Stats.Counter.create () in
+  (* "read" went backwards (a reset happened between the snapshots),
+     "write" is unchanged: neither may appear in the interval *)
+  Stats.Counter.incr later ~n:3 "read";
+  Stats.Counter.incr later ~n:2 "write";
+  Stats.Counter.incr later "open";
+  let d = Stats.Counter.diff later earlier in
+  Alcotest.(check (list (pair string int)))
+    "only positive deltas" [ ("open", 1) ] (Stats.Counter.to_list d);
+  Alcotest.(check int) "clamped to zero" 0 (Stats.Counter.get d "read")
+
 let test_timeseries_binning () =
   let ts = Stats.Timeseries.create ~bin:10.0 "calls" in
   Stats.Timeseries.add ts ~time:0.0 1.0;
@@ -62,6 +77,48 @@ let test_timeseries_growth () =
   Stats.Timeseries.add ts ~time:500.0 1.0;
   Alcotest.(check int) "many bins" 501 (Stats.Timeseries.bins ts);
   Alcotest.(check (float 1e-9)) "far bin" 1.0 (Stats.Timeseries.value ts 500)
+
+let test_timeseries_empty () =
+  let ts = Stats.Timeseries.create ~bin:10.0 "empty" in
+  Alcotest.(check int) "no bins" 0 (Stats.Timeseries.bins ts);
+  Alcotest.(check (float 0.0)) "value of untouched bin" 0.0
+    (Stats.Timeseries.value ts 0);
+  Alcotest.(check (float 0.0)) "rate of untouched bin" 0.0
+    (Stats.Timeseries.rate ts 0);
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "to_list empty" [] (Stats.Timeseries.to_list ts)
+
+let test_timeseries_boundaries () =
+  let ts = Stats.Timeseries.create ~bin:10.0 "edges" in
+  (* a sample exactly on a bin boundary opens the next bin: [k*bin] is
+     the half-open start of bin k *)
+  Stats.Timeseries.add ts ~time:0.0 1.0;
+  Stats.Timeseries.add ts ~time:10.0 1.0;
+  Stats.Timeseries.add ts ~time:20.0 1.0;
+  Alcotest.(check int) "three bins" 3 (Stats.Timeseries.bins ts);
+  List.iter
+    (fun i ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "bin %d" i)
+        1.0
+        (Stats.Timeseries.value ts i))
+    [ 0; 1; 2 ];
+  Alcotest.check_raises "negative time rejected"
+    (Invalid_argument "Timeseries.add: negative time") (fun () ->
+      Stats.Timeseries.add ts ~time:(-0.001) 1.0)
+
+let test_timeseries_final_bin_rate () =
+  let ts = Stats.Timeseries.create ~bin:10.0 "tail" in
+  Stats.Timeseries.add ts ~time:5.0 2.0;
+  (* the final bin was touched only at its left edge (zero width of it
+     is covered), yet the rate stays finite: the divisor is the nominal
+     bin width, never the covered span *)
+  Stats.Timeseries.add ts ~time:20.0 4.0;
+  Alcotest.(check int) "bins" 3 (Stats.Timeseries.bins ts);
+  let r = Stats.Timeseries.rate ts 2 in
+  Alcotest.(check bool) "finite" true (Float.is_finite r);
+  Alcotest.(check (float 1e-9)) "nominal-width rate" 0.4 r;
+  Alcotest.(check (float 1e-9)) "mid-bin rate" 0.2 (Stats.Timeseries.rate ts 0)
 
 let prop_timeseries_total_preserved =
   QCheck.Test.make ~name:"sum of bins equals sum of additions" ~count:100
@@ -145,12 +202,19 @@ let () =
           Alcotest.test_case "basic" `Quick test_counter_basic;
           Alcotest.test_case "to_list sorted" `Quick test_counter_to_list_sorted;
           Alcotest.test_case "snapshot/diff" `Quick test_counter_snapshot_diff;
+          Alcotest.test_case "diff clamps regressions" `Quick
+            test_counter_diff_clamped;
           Alcotest.test_case "reset" `Quick test_counter_reset;
         ] );
       ( "timeseries",
         [
           Alcotest.test_case "binning" `Quick test_timeseries_binning;
           Alcotest.test_case "growth" `Quick test_timeseries_growth;
+          Alcotest.test_case "empty series" `Quick test_timeseries_empty;
+          Alcotest.test_case "bin boundaries" `Quick
+            test_timeseries_boundaries;
+          Alcotest.test_case "zero-width final bin rate" `Quick
+            test_timeseries_final_bin_rate;
         ]
         @ qc [ prop_timeseries_total_preserved ] );
       ( "histogram",
