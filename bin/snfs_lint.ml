@@ -1,12 +1,77 @@
-(* snfs_lint — determinism / protocol-hygiene lint over the source
-   tree. Prints GNU-style [path:line: error: [rule] message] findings
-   and exits non-zero if there are any. *)
+(* snfs_lint — AST-based static analysis over the source tree.
+
+   Usage: snfs_lint [ROOT] [--json FILE] [--baseline FILE]
+                    [--write-baseline FILE]
+
+   Runs every Analysis.Driver pass over ROOT (default ".")'s
+   lib/bin/test/bench/examples trees, prints GNU-style
+   [path:line:col: error: [rule] message] findings, optionally writes
+   the full deterministic JSON report, and exits non-zero if any
+   finding is not absorbed by the baseline file (default
+   ROOT/lint-baseline when present). --write-baseline records the
+   current findings as the accepted baseline (bootstrap; the goal is
+   an empty one). *)
+
+let usage () =
+  prerr_endline
+    "usage: snfs_lint [ROOT] [--json FILE] [--baseline FILE] \
+     [--write-baseline FILE]";
+  exit 2
 
 let () =
-  let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
-  let findings = Check.Lint.scan_tree root in
-  List.iter (fun f -> print_endline (Check.Lint.to_string f)) findings;
-  match findings with
+  let root = ref "." and json = ref None and baseline_file = ref None in
+  let write_baseline = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+        json := Some file;
+        parse rest
+    | "--baseline" :: file :: rest ->
+        baseline_file := Some file;
+        parse rest
+    | "--write-baseline" :: file :: rest ->
+        write_baseline := Some file;
+        parse rest
+    | ("--json" | "--baseline" | "--write-baseline") :: [] | "--help" :: _ ->
+        usage ()
+    | arg :: rest ->
+        root := arg;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let read path = In_channel.with_open_bin path In_channel.input_all in
+  let baseline =
+    match !baseline_file with
+    | Some f -> Analysis.Baseline.of_string (read f)
+    | None ->
+        let default = Filename.concat !root "lint-baseline" in
+        if Sys.file_exists default then
+          Analysis.Baseline.of_string (read default)
+        else Analysis.Baseline.empty
+  in
+  let inputs = Analysis.Driver.load_tree !root in
+  let r = Analysis.Driver.analyze ~baseline inputs in
+  Option.iter
+    (fun file ->
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc
+            (Analysis.Finding.report_to_json r.Analysis.Driver.findings)))
+    !json;
+  Option.iter
+    (fun file ->
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc
+            (Analysis.Baseline.to_string r.Analysis.Driver.findings)))
+    !write_baseline;
+  List.iter
+    (fun f -> print_endline (Analysis.Finding.to_string f))
+    r.Analysis.Driver.fresh;
+  (match r.Analysis.Driver.baselined with
+  | [] -> ()
+  | bs ->
+      Printf.eprintf "snfs_lint: %d baselined finding(s) suppressed\n"
+        (List.length bs));
+  match r.Analysis.Driver.fresh with
   | [] -> ()
   | fs ->
       Printf.eprintf "snfs_lint: %d finding(s)\n" (List.length fs);

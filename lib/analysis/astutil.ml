@@ -1,0 +1,80 @@
+open Parsetree
+
+let flatten lid = match Longident.flatten lid with
+  | parts -> Some parts
+  | exception _ -> None
+
+let path_of_expr e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> flatten txt
+  | _ -> None
+
+let has_suffix path suff =
+  let lp = List.length path and ls = List.length suff in
+  lp >= ls
+  &&
+  let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+  drop (lp - ls) path = suff
+
+let pos (loc : Location.t) =
+  let p = loc.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+let rec uncurry_pipes e =
+  match e.pexp_desc with
+  | Pexp_apply (({ pexp_desc = Pexp_ident { txt = Lident ("|>" | "@@"); _ }; _ } as op),
+                [ (Nolabel, a); (Nolabel, b) ]) ->
+      let fn, arg =
+        match op.pexp_desc with
+        | Pexp_ident { txt = Lident "|>"; _ } -> (b, a)
+        | _ -> (a, b)
+      in
+      let fn = uncurry_pipes fn in
+      (* merge [x |> f y] into [f y x] so the head and all args are
+         visible in one application node *)
+      let desc =
+        match fn.pexp_desc with
+        | Pexp_apply (head, args) -> Pexp_apply (head, args @ [ (Nolabel, arg) ])
+        | _ -> Pexp_apply (fn, [ (Nolabel, arg) ])
+      in
+      { e with pexp_desc = desc }
+  | _ -> e
+
+let rec pat_names p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> [ txt ]
+  | Ppat_alias (p, { txt; _ }) -> txt :: pat_names p
+  | Ppat_tuple ps -> List.concat_map pat_names ps
+  | Ppat_construct (_, Some (_, p)) -> pat_names p
+  | Ppat_variant (_, Some p) -> pat_names p
+  | Ppat_record (fields, _) -> List.concat_map (fun (_, p) -> pat_names p) fields
+  | Ppat_array ps -> List.concat_map pat_names ps
+  | Ppat_or (a, b) -> pat_names a @ pat_names b
+  | Ppat_constraint (p, _) -> pat_names p
+  | Ppat_lazy p | Ppat_exception p | Ppat_open (_, p) -> pat_names p
+  | _ -> []
+
+let mutable_field_names structures signatures =
+  let fields = Hashtbl.create 64 in
+  let type_declaration _it (td : type_declaration) =
+    match td.ptype_kind with
+    | Ptype_record labels ->
+        List.iter
+          (fun ld ->
+            if ld.pld_mutable = Asttypes.Mutable then
+              Hashtbl.replace fields ld.pld_name.Asttypes.txt ())
+          labels
+    | _ -> ()
+  in
+  let it = { Ast_iterator.default_iterator with type_declaration } in
+  List.iter (fun s -> it.structure it s) structures;
+  List.iter (fun s -> it.signature it s) signatures;
+  fields
+
+let iter_exprs f structure =
+  let expr it e =
+    f e;
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it structure

@@ -1,0 +1,35 @@
+(** Small shared helpers over [Parsetree] for the analysis passes. *)
+
+(** Flattened dotted path of an identifier expression
+    ([Nfs.Wire.read] -> [["Nfs"; "Wire"; "read"]]); [None] when the
+    expression is not an identifier (or uses functor application). *)
+val path_of_expr : Parsetree.expression -> string list option
+
+(** Flatten a longident, tolerating [Lapply] (which {!Longident.flatten}
+    rejects) by returning [None]. *)
+val flatten : Longident.t -> string list option
+
+(** [has_suffix path suff] — does the dotted path end with [suff]?
+    [has_suffix ["Netsim";"Rpc";"call"] ["Rpc";"call"] = true]. *)
+val has_suffix : string list -> string list -> bool
+
+(** 1-based line and 0-based column of a location's start. *)
+val pos : Location.t -> int * int
+
+(** Strip [|>] / [@@] sugar: rewrites [x |> f] and [f @@ x] into the
+    equivalent direct application, recursively on the head, so passes
+    see one canonical application shape. *)
+val uncurry_pipes : Parsetree.expression -> Parsetree.expression
+
+(** All variable names bound by a pattern. *)
+val pat_names : Parsetree.pattern -> string list
+
+(** Names of every record field declared [mutable] anywhere in the
+    given structures/signatures (submodules included). Field names are
+    collected globally: the analysis does not type-check, so any
+    field whose name is declared mutable in some type counts. *)
+val mutable_field_names :
+  Parsetree.structure list -> Parsetree.signature list -> (string, unit) Hashtbl.t
+
+(** Iterate over every expression of a structure, in source order. *)
+val iter_exprs : (Parsetree.expression -> unit) -> Parsetree.structure -> unit

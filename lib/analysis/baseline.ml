@@ -1,0 +1,34 @@
+type t = (string * string * string) list (* rule, path, message *)
+
+let empty = []
+
+let of_string s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.split_on_char '\t' line with
+           | rule :: path :: rest when rest <> [] ->
+               Some (rule, path, String.concat "\t" rest)
+           | _ -> None)
+
+let to_string findings =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "# snfs_lint baseline: accepted findings, one per line as\n\
+     # rule<TAB>path<TAB>message. Matched ignoring line numbers.\n";
+  List.iter
+    (fun (f : Finding.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\t%s\t%s\n" f.Finding.rule f.Finding.path
+           f.Finding.message))
+    findings;
+  Buffer.contents buf
+
+let apply t findings =
+  List.partition
+    (fun (f : Finding.t) ->
+      not
+        (List.mem (f.Finding.rule, f.Finding.path, f.Finding.message) t))
+    findings

@@ -1,0 +1,23 @@
+(** Findings baseline.
+
+    The baseline is a plain-text file accepting pre-existing findings:
+    one finding per line as [rule<TAB>path<TAB>message], blank lines
+    and [#]-comments ignored. A finding matches a baseline entry by
+    rule, path and message — deliberately not by line, so unrelated
+    edits above a baselined finding do not resurrect it.
+
+    CI fails on any finding that is neither waived in-source nor
+    present here; a clean tree keeps this file absent or empty. *)
+
+type t
+
+val empty : t
+
+(** Parse baseline file contents. Malformed lines are ignored. *)
+val of_string : string -> t
+
+(** Render findings as baseline file contents (for bootstrapping). *)
+val to_string : Finding.t list -> string
+
+(** Partition findings into (new, baselined). *)
+val apply : t -> Finding.t list -> Finding.t list * Finding.t list

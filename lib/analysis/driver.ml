@@ -1,0 +1,89 @@
+type input = { path : string; src : string }
+
+type result = {
+  findings : Finding.t list;
+  fresh : Finding.t list;
+  baselined : Finding.t list;
+}
+
+let passes =
+  [
+    Pass_determinism.pass;
+    Pass_hashtbl_order.pass;
+    Pass_yield_race.pass;
+    Pass_purity.pass;
+    Pass_interface_drift.pass;
+    Pass_missing_mli.pass;
+  ]
+
+let analyze ?(baseline = Baseline.empty) inputs =
+  let files = List.map (fun i -> Source.parse ~path:i.path i.src) inputs in
+  let structures = List.filter_map (fun f -> f.Source.impl) files in
+  let signatures = List.filter_map (fun f -> f.Source.intf) files in
+  let ctx =
+    {
+      Pass.files;
+      mutable_fields = Astutil.mutable_field_names structures signatures;
+    }
+  in
+  let parse_errors =
+    List.filter_map
+      (fun f ->
+        match f.Source.parse_error with
+        | Some (line, msg) ->
+            Some
+              (Finding.v ~path:f.Source.path ~line ~rule:"parse-error" msg)
+        | None -> None)
+      files
+  in
+  let raw =
+    parse_errors @ List.concat_map (fun p -> p.Pass.run ctx) passes
+  in
+  let src_of =
+    let tbl = Hashtbl.create (List.length inputs) in
+    List.iter (fun i -> Hashtbl.replace tbl i.path i.src) inputs;
+    fun path -> Hashtbl.find_opt tbl path
+  in
+  let kept =
+    List.filter
+      (fun (f : Finding.t) ->
+        match src_of f.Finding.path with
+        | Some src ->
+            not (Waiver.waived ~src ~rule:f.Finding.rule ~line:f.Finding.line)
+        | None -> true)
+      raw
+  in
+  let findings = List.sort_uniq Finding.compare kept in
+  let fresh, baselined = Baseline.apply baseline findings in
+  { findings; fresh; baselined }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_tree root =
+  let acc = ref [] in
+  let rec walk rel =
+    let abs = Filename.concat root rel in
+    let entries = Sys.readdir abs in
+    Array.sort compare entries;
+    Array.iter
+      (fun name ->
+        if String.length name > 0 && name.[0] <> '.' && name.[0] <> '_' then
+          let rel' = Filename.concat rel name in
+          let abs' = Filename.concat root rel' in
+          if Sys.is_directory abs' then walk rel'
+          else if
+            Filename.check_suffix name ".ml"
+            || Filename.check_suffix name ".mli"
+          then acc := { path = rel'; src = read_file abs' } :: !acc)
+      entries
+  in
+  List.iter
+    (fun dir ->
+      if Sys.file_exists (Filename.concat root dir) then walk dir)
+    [ "lib"; "bin"; "test"; "bench"; "examples" ];
+  List.rev !acc

@@ -1,0 +1,25 @@
+(** Pass driver: parse sources, run every registered pass, filter
+    waivers, apply the baseline, and render reports. *)
+
+type input = { path : string; src : string }
+(** one source file, with [path] relative to the tree root *)
+
+type result = {
+  findings : Finding.t list;
+      (** every post-waiver finding, sorted and deduplicated *)
+  fresh : Finding.t list;  (** findings not covered by the baseline *)
+  baselined : Finding.t list;  (** findings the baseline absorbs *)
+}
+
+val passes : Pass.t list
+(** the registered passes, in execution order *)
+
+val analyze : ?baseline:Baseline.t -> input list -> result
+(** Run all passes over the inputs. Unparseable files yield a single
+    [parse-error] finding each. A finding is dropped when its flagged
+    line (or the line above) carries [snfs-lint: allow <rule>]. *)
+
+val load_tree : string -> input list
+(** Read every [.ml]/[.mli] under [root]/{lib,bin,test,bench,examples},
+    skipping dot- and underscore-prefixed entries, in sorted order.
+    Returned paths are relative to [root]. *)

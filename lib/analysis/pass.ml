@@ -1,0 +1,6 @@
+type ctx = {
+  files : Source.t list;
+  mutable_fields : (string, unit) Hashtbl.t;
+}
+
+type t = { name : string; doc : string; run : ctx -> Finding.t list }

@@ -1,0 +1,18 @@
+(** The pass interface the driver runs.
+
+    A pass sees the whole parsed workspace at once (cross-file passes
+    like interface-drift need it) plus the shared fact tables the
+    driver pre-computes. Passes return raw findings; waiver and
+    baseline filtering is the driver's job. *)
+
+type ctx = {
+  files : Source.t list;  (** every parsed source file, sorted by path *)
+  mutable_fields : (string, unit) Hashtbl.t;
+      (** field names declared [mutable] anywhere in the workspace *)
+}
+
+type t = {
+  name : string;  (** rule name findings carry, e.g. ["yield-race"] *)
+  doc : string;  (** one-line description for [--list-passes] *)
+  run : ctx -> Finding.t list;
+}

@@ -1,0 +1,16 @@
+(** AST re-implementation of the determinism rule.
+
+    A run must be a pure function of its inputs. Outside [bin/], any
+    reference to a wall-clock or ambient-entropy function is an error —
+    referencing, not just calling, so [let now = Unix.gettimeofday]
+    cannot smuggle the clock past the pass (dataflow through
+    let-bindings comes for free: the alias site itself is flagged).
+
+    Inside [lib/] the pass additionally rejects environment reads
+    ([Sys.getenv]/[Sys.getenv_opt]/[Unix.getenv]) and ad-hoc
+    stdout/stderr printing ([Printf.printf]/[eprintf],
+    [print_endline], ...): library behaviour and output must not vary
+    with the invoking shell. (Tests may keep env-gated debug printing;
+    binaries may do real I/O.) *)
+
+val pass : Pass.t

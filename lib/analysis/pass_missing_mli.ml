@@ -1,0 +1,20 @@
+let name = "missing-mli"
+
+let run ctx =
+  let paths = List.map (fun f -> f.Source.path) ctx.Pass.files in
+  List.filter_map
+    (fun (f : Source.t) ->
+      if
+        Source.under "lib" f.Source.path
+        && Filename.check_suffix f.Source.path ".ml"
+        && not (List.mem (f.Source.path ^ "i") paths)
+      then
+        Some
+          (Finding.v ~path:f.Source.path ~line:1 ~rule:name
+             (Printf.sprintf "%s has no interface file (%si)" f.Source.path
+                f.Source.path))
+      else None)
+    ctx.Pass.files
+
+let pass =
+  { Pass.name; doc = "lib/ implementations lacking an .mli"; run }

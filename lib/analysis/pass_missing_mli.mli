@@ -1,0 +1,6 @@
+(** Every [lib/] implementation must publish an interface: an [.ml]
+    without a sibling [.mli] exports everything, which defeats the
+    interface-drift audit and makes protocol-state encapsulation
+    unreviewable. Ported from the old textual lint. *)
+
+val pass : Pass.t

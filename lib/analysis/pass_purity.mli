@@ -1,0 +1,17 @@
+(** Core-purity pass.
+
+    [lib/core] and [lib/check/model.ml] are the protocol model: they
+    must stay runnable inside the model checker and comparable across
+    runs. The pass rejects, in those files only:
+
+    - any reference whose head module is [Unix], [Sys], [Sim],
+      [Netsim], [Obs], [Random], [In_channel] or [Out_channel] — no
+      I/O, no clock, no simulator coupling, no entropy;
+    - printing entry points ([Printf.printf]/[eprintf]/[fprintf],
+      [Format] likewise, [print_endline] and friends) — [sprintf] and
+      [asprintf] stay legal;
+    - toplevel mutable state ([ref], [Hashtbl.create], [Buffer],
+      [Queue], [Stack], [Array.make], [Bytes.create] outside any
+      function body) unless waived with a justification. *)
+
+val pass : Pass.t

@@ -1,0 +1,27 @@
+(** Yield-point race detector.
+
+    The simulator is cooperatively scheduled: state can only change
+    under our feet across a blocking point ([Rpc.call], [Engine.sleep],
+    [Ivar.read], [Resource.use], disk and cache waits, RPC wire
+    wrappers). A value read from mutable protocol/cache state (mutable
+    record field, [Hashtbl.find], [!ref]) that is bound before such a
+    point and used after it without a re-read is a cache-consistency
+    hazard — exactly the class of bug behind stale-attribute and
+    lost-callback races in the Spritely/Kent protocols.
+
+    The pass tracks let-bound direct mutable reads through an
+    environment, marks every live binding "crossed" at each blocking
+    application (including calls to module-local wrappers that
+    themselves block, found by a per-module fixpoint), and reports the
+    first use of a crossed binding. Lambdas handed to deferring
+    primitives ([Engine.spawn]/[after]/[at], [Metrics.register_poll])
+    run later in a fresh task, so they are analysed with a fresh
+    environment and do not block the spawning code. Scoped to [lib/].
+
+    Claim-and-clear exemption: overwriting the source field (or ref)
+    before the first blocking point — [let xid = t.next_xid in
+    t.next_xid <- xid + 1], or take-and-clear of a pending list —
+    transfers ownership of the old value to the binding, which is then
+    deliberately a snapshot, not a cached view, and is not flagged. *)
+
+val pass : Pass.t

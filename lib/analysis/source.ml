@@ -1,0 +1,40 @@
+type t = {
+  path : string;
+  src : string;
+  impl : Parsetree.structure option;
+  intf : Parsetree.signature option;
+  parse_error : (int * string) option;
+}
+
+let error_of_exn exn =
+  match exn with
+  | Syntaxerr.Error err ->
+      let loc = Syntaxerr.location_of_error err in
+      (loc.Location.loc_start.Lexing.pos_lnum, "syntax error")
+  | Lexer.Error (_, loc) -> (loc.Location.loc_start.Lexing.pos_lnum, "lexer error")
+  | exn -> (1, "parse failure: " ^ Printexc.to_string exn |> String.trim)
+
+let lexbuf_of ~path src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf path;
+  lexbuf
+
+let parse ~path src =
+  let mk ?impl ?intf ?parse_error () = { path; src; impl; intf; parse_error } in
+  if Filename.check_suffix path ".ml" then
+    match Parse.implementation (lexbuf_of ~path src) with
+    | ast -> mk ~impl:ast ()
+    | exception exn -> mk ~parse_error:(error_of_exn exn) ()
+  else if Filename.check_suffix path ".mli" then
+    match Parse.interface (lexbuf_of ~path src) with
+    | ast -> mk ~intf:ast ()
+    | exception exn -> mk ~parse_error:(error_of_exn exn) ()
+  else mk ()
+
+let module_name path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let under dir path =
+  let prefix = dir ^ "/" in
+  String.length path >= String.length prefix
+  && String.sub path 0 (String.length prefix) = prefix

@@ -1,0 +1,27 @@
+(** Parsed source file, as the pass driver hands it to every pass.
+
+    Parsing uses the compiler's own frontend ([compiler-libs.common]),
+    so the passes see exactly the AST the build sees — no textual
+    heuristics survive a refactor the compiler accepts. *)
+
+type t = {
+  path : string;  (** workspace-relative, '/'-separated *)
+  src : string;  (** raw file contents (waiver comments live here) *)
+  impl : Parsetree.structure option;  (** [Some] for a parsed [.ml] *)
+  intf : Parsetree.signature option;  (** [Some] for a parsed [.mli] *)
+  parse_error : (int * string) option;
+      (** line + message when the frontend rejected the file *)
+}
+
+(** [parse ~path src] parses [.ml] as an implementation and [.mli] as
+    an interface (decided by extension); any other extension yields a
+    file with neither AST. Parse failures are captured in
+    [parse_error], never raised. *)
+val parse : path:string -> string -> t
+
+(** [module_name path] is the capitalized module a path compiles to
+    ([lib/nfs/wire.mli] -> ["Wire"]). *)
+val module_name : string -> string
+
+(** [under dir path] — is [path] strictly inside directory [dir]? *)
+val under : string -> string -> bool

@@ -1,0 +1,24 @@
+let ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-'
+
+(* substring match, requiring a token boundary after the needle *)
+let mentions line token =
+  let nl = String.length line and nt = String.length token in
+  let rec go i =
+    if i + nt > nl then false
+    else if
+      String.sub line i nt = token
+      && (i + nt = nl || not (ident_char line.[i + nt]))
+    then true
+    else go (i + 1)
+  in
+  nt > 0 && go 0
+
+let waived ~src ~rule ~line =
+  let token = "snfs-lint: allow " ^ rule in
+  let lines = String.split_on_char '\n' src in
+  let has i = i >= 1 && i <= List.length lines && mentions (List.nth lines (i - 1)) token in
+  has line || has (line - 1)

@@ -1,0 +1,13 @@
+(** Per-finding waivers.
+
+    A finding is waived by a comment containing
+    [snfs-lint: allow <rule>] on the flagged line or the line directly
+    above it. Anything after the rule name is free-form justification:
+
+    {v (* snfs-lint: allow yield-race — b.lock serializes this path *) v}
+
+    The rule name must be followed by a non-identifier character (or
+    end-of-line) so [allow determinism] never waives a hypothetical
+    [determinism-strict] finding. *)
+
+val waived : src:string -> rule:string -> line:int -> bool

@@ -37,8 +37,11 @@ val create :
   backend ->
   t
 
+(* snfs-lint: allow interface-drift — config introspection for experiment reports *)
 val name : t -> string
+(* snfs-lint: allow interface-drift — config introspection for experiment reports *)
 val block_size : t -> int
+(* snfs-lint: allow interface-drift — config introspection for experiment reports *)
 val capacity_blocks : t -> int
 
 (** {2 Data path} *)
@@ -118,10 +121,12 @@ val hits : t -> int
 val misses : t -> int
 
 (** Backend block writes issued. *)
+(* snfs-lint: allow interface-drift — cache observability counter for experiments *)
 val writebacks : t -> int
 
 (** Dirty blocks cancelled by delete. *)
 val writes_averted : t -> int
 
 val evictions : t -> int
+(* snfs-lint: allow interface-drift — cache observability counter for experiments *)
 val resident_blocks : t -> int

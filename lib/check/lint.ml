@@ -1,21 +1,45 @@
-type finding = {
-  f_path : string;
-  f_line : int;
-  f_rule : string;
-  f_message : string;
-}
-
-let to_string f =
-  Printf.sprintf "%s:%d: error: [%s] %s" f.f_path f.f_line f.f_rule f.f_message
-
 (* Blank out comments and string/char literal contents, preserving
-   newlines and column positions, so the rules match code only. *)
+   newlines and column positions, so textual tooling matches code
+   only. The lint rules that used to live here are now AST passes in
+   lib/analysis. *)
+
 let strip src =
   let n = String.length src in
   let out = Bytes.of_string src in
   let blank j = if Bytes.get out j <> '\n' then Bytes.set out j ' ' in
   let i = ref 0 in
   let depth = ref 0 in
+  (* [{|...|}] and [{id|...|id}]: called with [!i] on '{'; returns true
+     (and advances past the literal, blanking its contents) when the
+     brace really opens a quoted string *)
+  let quoted_string () =
+    let j = ref (!i + 1) in
+    while
+      !j < n
+      && (match src.[!j] with 'a' .. 'z' | '_' -> true | _ -> false)
+    do
+      incr j
+    done;
+    if !j < n && src.[!j] = '|' then begin
+      let close = "|" ^ String.sub src (!i + 1) (!j - !i - 1) ^ "}" in
+      let cn = String.length close in
+      let k = ref (!j + 1) in
+      let fin = ref false in
+      while (not !fin) && !k < n do
+        if !k + cn <= n && String.sub src !k cn = close then begin
+          i := !k + cn;
+          fin := true
+        end
+        else begin
+          blank !k;
+          incr k
+        end
+      done;
+      if not !fin then i := n;
+      true
+    end
+    else false
+  in
   while !i < n do
     let c = src.[!i] in
     if !depth > 0 then
@@ -60,6 +84,7 @@ let strip src =
         end
       done
     end
+    else if c = '{' && quoted_string () then ()
     else if c = '\'' && !i + 2 < n && src.[!i + 2] = '\'' && src.[!i + 1] <> '\\'
     then begin
       blank (!i + 1);
@@ -77,180 +102,3 @@ let strip src =
     else incr i
   done;
   Bytes.to_string out
-
-let lines_of s = String.split_on_char '\n' s
-
-let contains hay needle =
-  let nh = String.length hay and nn = String.length needle in
-  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-  nn > 0 && go 0
-
-let ident_char c =
-  (c >= 'a' && c <= 'z')
-  || (c >= 'A' && c <= 'Z')
-  || (c >= '0' && c <= '9')
-  || c = '_' || c = '\''
-
-(* substring match with identifier boundaries on both sides *)
-let contains_word hay needle =
-  let nh = String.length hay and nn = String.length needle in
-  let rec go i =
-    if i + nn > nh then false
-    else if
-      String.sub hay i nn = needle
-      && ((i = 0 || not (ident_char hay.[i - 1]))
-         && (i + nn = nh || not (ident_char hay.[i + nn])))
-    then true
-    else go (i + 1)
-  in
-  nn > 0 && go 0
-
-let waived raw_lines rule line =
-  let token = "snfs-lint: allow " ^ rule in
-  let has i =
-    i >= 1 && i <= List.length raw_lines && contains (List.nth raw_lines (i - 1)) token
-  in
-  has line || has (line - 1)
-
-let under dir path =
-  let prefix = dir ^ "/" in
-  String.length path >= String.length prefix
-  && String.sub path 0 (String.length prefix) = prefix
-
-let forbidden_calls =
-  [
-    ("Unix.gettimeofday", "wall-clock time; use Sim.Engine.now");
-    ("Unix.time", "wall-clock time; use Sim.Engine.now");
-    ("Sys.time", "host CPU time; use Sim.Engine.now");
-    ("Random.self_init", "ambient entropy; use Sim.Rand with a fixed seed");
-  ]
-
-(* substring, not word, matches: the sinks appear inside compound
-   identifiers (deliver_callback, block_callback, proto_event, ...);
-   comments and strings are stripped before we get here *)
-let sinks = [ "callback"; "emit"; "instant"; "deliver"; "Trace."; "Rpc.call"; "Chrome." ]
-let has_sink line = List.exists (contains line) sinks
-
-let has_sort line =
-  List.exists (contains_word line) [ "sort"; "sort_uniq"; "stable_sort" ]
-
-(* a top-level structure item boundary ends the window a Hashtbl
-   iteration's results can plausibly flow into *)
-let toplevel_boundary line =
-  List.exists
-    (fun kw ->
-      String.length line >= String.length kw
-      && String.sub line 0 (String.length kw) = kw)
-    [ "let "; "and "; "module "; "type "; "exception "; "end" ]
-
-let scan_source ~path src =
-  let raw_lines = lines_of src in
-  let code = strip src in
-  let code_lines = lines_of code in
-  let findings = ref [] in
-  let add line rule message =
-    if not (waived raw_lines rule line) then
-      findings := { f_path = path; f_line = line; f_rule = rule; f_message = message } :: !findings
-  in
-  let in_bin = under "bin" path in
-  let in_lib = under "lib" path in
-  List.iteri
-    (fun idx line ->
-      let lineno = idx + 1 in
-      if not in_bin then
-        List.iter
-          (fun (call, why) ->
-            if contains_word line call then
-              add lineno "determinism"
-                (Printf.sprintf "%s breaks reproducibility outside bin/ (%s)"
-                   call why))
-          forbidden_calls;
-      if
-        in_lib
-        && (contains line "Hashtbl.iter" || contains line "Hashtbl.fold")
-      then begin
-        (* window: rest of the enclosing top-level definition, capped *)
-        let rec window i acc sorted sink =
-          match List.nth_opt code_lines i with
-          | None -> (sorted, sink)
-          | Some l ->
-              if acc > 0 && toplevel_boundary l then (sorted, sink)
-              else if acc > 40 then (sorted, sink)
-              else
-                window (i + 1) (acc + 1) (sorted || has_sort l)
-                  (sink || has_sink l)
-        in
-        let sorted, sink = window idx 0 false false in
-        if sink && not sorted then
-          add lineno "hashtbl-order"
-            "Hashtbl iteration feeds trace/callback/RPC emission without a \
-             sort; hash order is not deterministic across implementations"
-      end)
-    code_lines;
-  List.rev !findings
-
-let check_mli_pairs paths =
-  let set = Hashtbl.create 64 in
-  List.iter (fun p -> Hashtbl.replace set p ()) paths;
-  List.filter_map
-    (fun p ->
-      if
-        under "lib" p
-        && Filename.check_suffix p ".ml"
-        && not (Hashtbl.mem set (p ^ "i"))
-      then
-        Some
-          {
-            f_path = p;
-            f_line = 1;
-            f_rule = "missing-mli";
-            f_message =
-              "library module has no .mli; every lib/ module must declare its \
-               interface";
-          }
-      else None)
-    (List.sort compare paths)
-
-let read_file path =
-  In_channel.with_open_bin path In_channel.input_all
-
-let rec walk root rel acc =
-  let dir = Filename.concat root rel in
-  if not (Sys.file_exists dir && Sys.is_directory dir) then acc
-  else
-    Array.fold_left
-      (fun acc name ->
-        if String.length name = 0 || name.[0] = '.' || name.[0] = '_' then acc
-        else
-          let rel' = if rel = "" then name else rel ^ "/" ^ name in
-          let full = Filename.concat root rel' in
-          if Sys.is_directory full then walk root rel' acc else rel' :: acc)
-      acc
-      (let entries = Sys.readdir dir in
-       Array.sort compare entries;
-       entries)
-
-let scan_tree root =
-  let paths =
-    List.fold_left
-      (fun acc top -> walk root top acc)
-      []
-      [ "lib"; "bin"; "test"; "bench"; "examples" ]
-    |> List.sort compare
-  in
-  let source_findings =
-    List.concat_map
-      (fun p ->
-        if Filename.check_suffix p ".ml" then
-          scan_source ~path:p (read_file (Filename.concat root p))
-        else [])
-      paths
-  in
-  let mli_findings =
-    check_mli_pairs
-      (List.filter
-         (fun p ->
-           Filename.check_suffix p ".ml" || Filename.check_suffix p ".mli")
-         paths)
-  in
-  List.sort compare (source_findings @ mli_findings)

@@ -1,49 +1,10 @@
-(** Determinism and protocol-hygiene lint for the simulator sources.
+(** Comment/string stripper for textual source tooling.
 
-    The whole reproduction rests on PR 1's byte-identical-trace
-    guarantee: a run is a pure function of its inputs. This pass
-    statically rejects source patterns that quietly break that, plus
-    one interface-hygiene rule:
+    The lint rules themselves moved to [lib/analysis] (AST-based,
+    see [Analysis.Driver]); what remains here is the position-preserving
+    stripper, which blanks comment bodies and string/char literal
+    contents so textual tooling matches code only. It understands
+    nested [(* ... *)] comments, ["..."] with escapes, char literals,
+    and quoted-string literals [{|...|}] / [{id|...|id}]. *)
 
-    - [determinism]: wall-clock and ambient-entropy calls
-      ([Unix.gettimeofday], [Unix.time], [Sys.time],
-      [Random.self_init]) anywhere outside [bin/] — simulated time
-      comes from [Sim.Engine], randomness from [Sim.Rand];
-    - [hashtbl-order]: a [Hashtbl.iter]/[Hashtbl.fold] in [lib/] whose
-      surrounding definition feeds trace emission, callbacks, or RPC
-      sends without an intervening sort — hash-bucket order is not part
-      of any contract, so emission order must not depend on it;
-    - [missing-mli]: a [.ml] in [lib/] with no corresponding [.mli].
-
-    Comments and string/char literals are stripped before matching, so
-    prose about "callbacks" never trips the pass. A finding can be
-    waived with a comment containing [snfs-lint: allow <rule>] on the
-    flagged line or the line above.
-
-    Findings carry [file:line] and print in GNU error format
-    ([path:line: error: [rule] message]) so editors and CI annotate
-    them directly. *)
-
-type finding = {
-  f_path : string;
-  f_line : int;  (** 1-based *)
-  f_rule : string;
-  f_message : string;
-}
-
-val to_string : finding -> string
-
-(** [scan_source ~path src] applies the content rules to one file;
-    [path] (workspace-relative, '/'-separated) decides which rules
-    apply. *)
-val scan_source : path:string -> string -> finding list
-
-(** The [missing-mli] rule over a list of workspace-relative paths. *)
-val check_mli_pairs : string list -> finding list
-
-(** Walk [root]'s [lib]/[bin]/[test]/[bench]/[examples] trees (skipping
-    [_build], dot-directories) and apply every rule. *)
-val scan_tree : string -> finding list
-
-(** Comment/string stripper, exposed for the lint's own tests. *)
 val strip : string -> string

@@ -20,6 +20,7 @@ val protocol_to_string : protocol -> string
 
 (** Does the protocol promise zero stale reads under serialized
     sharing? [false] only for {!Nfs}. *)
+(* snfs-lint: allow interface-drift — documented preset mode, the dual of the default *)
 val strict : protocol -> bool
 
 type outcome = {
@@ -35,6 +36,7 @@ type outcome = {
     [Forget] closes everything that client holds, [Remove] unlinks.
     Reads are diffed at open; on return all descriptors are closed,
     caches quiesced and the server contents diffed. *)
+(* snfs-lint: allow interface-drift — offline trace-replay entry point for snfs_check *)
 val replay : protocol -> Invariant.op list -> outcome
 
 (** Sum of {!replay} over many sequences. *)

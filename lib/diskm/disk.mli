@@ -17,12 +17,14 @@ type params = {
 
 (** Approximation of a DEC RA81: ~22 ms average seek plus ~8.3 ms
     average rotational latency, 2.2 MB/s peak transfer. *)
+(* snfs-lint: allow interface-drift — the paper's disk preset, referenced from DESIGN.md *)
 val ra81 : params
 
 type t
 
 val create : Sim.Engine.t -> ?params:params -> string -> t
 
+(* snfs-lint: allow interface-drift — identity accessor for report labelling *)
 val name : t -> string
 
 (** [read t ?at ~bytes] blocks for one read request of [bytes] bytes.

@@ -10,6 +10,7 @@ type variant = {
 
 (** The paper's five configurations: local; NFS and SNFS each with
     /tmp local and /tmp remote. *)
+(* snfs-lint: allow interface-drift — preset enumerating the paper's Andrew variants *)
 val paper_variants : unit -> variant list
 
 type run_result = {

@@ -70,13 +70,7 @@ let run_protocol ~label ~make_clients () =
                 (match Vfs.Fileio.read fd ~len:block_size with
                 | (s, _) :: _ ->
                     incr reads;
-                    if s < expected then begin
-                      incr stale;
-                      if Sys.getenv_opt "SNFS_SIM_DEBUG" <> None then
-                        Printf.eprintf
-                          "[stale %s] t=%.2f client=%d block=%d observed=%d expected=%d\n%!"
-                          label (Sim.Engine.now engine) i theirs s expected
-                    end
+                    if s < expected then incr stale
                 | [] -> incr reads)
               done;
               Vfs.Fileio.close fd;

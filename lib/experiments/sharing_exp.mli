@@ -25,6 +25,7 @@ type row = {
   server_rpcs : int;
 }
 
+(* snfs-lint: allow interface-drift — single-protocol entry point for interactive runs *)
 val run_protocol :
   label:string ->
   make_clients:

@@ -27,15 +27,7 @@ let run_sort ?trace ?metrics ~protocol ?(update = Some 30.0) ~input_kb ~label
       let busy_before =
         Sim.Resource.busy_time (Netsim.Net.Host.cpu (Testbed.client_host tb))
       in
-      let disk_busy_before = Diskm.Disk.busy_time (Testbed.client_disk tb) in
       let result = Workload.Sort_workload.run ctx config in
-      if Sys.getenv_opt "SNFS_SIM_DEBUG" <> None then
-        Printf.eprintf
-          "[debug] %s: client disk busy %.1f s (%d reads, %d writes)\n%!"
-          label
-          (Diskm.Disk.busy_time (Testbed.client_disk tb) -. disk_busy_before)
-          (Diskm.Disk.reads (Testbed.client_disk tb))
-          (Diskm.Disk.writes (Testbed.client_disk tb));
       let counts = Stats.Counter.diff (Testbed.rpc_counts tb) before in
       let client_busy =
         Sim.Resource.busy_time (Netsim.Net.Host.cpu (Testbed.client_host tb))

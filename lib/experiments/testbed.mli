@@ -47,10 +47,13 @@ val create :
 (** Application context (mounts + client host) for workloads. *)
 val ctx : t -> Workload.App.t
 
+(* snfs-lint: allow interface-drift — testbed plumbing accessor for custom experiments *)
 val engine : t -> Sim.Engine.t
 val client_host : t -> Netsim.Net.Host.t
 val server_host : t -> Netsim.Net.Host.t
+(* snfs-lint: allow interface-drift — testbed plumbing accessor for custom experiments *)
 val server_disk : t -> Diskm.Disk.t
+(* snfs-lint: allow interface-drift — testbed plumbing accessor for custom experiments *)
 val client_disk : t -> Diskm.Disk.t
 
 (** RPC service of the protocol under test ([None] for Local). *)
@@ -66,6 +69,7 @@ val rpc : t -> Netsim.Rpc.t
 val rpc_counts : t -> Stats.Counter.t
 
 (** The client's protocol block cache ([None] for Local). *)
+(* snfs-lint: allow interface-drift — testbed plumbing accessor for custom experiments *)
 val protocol_cache : t -> Blockcache.Cache.t option
 
 (** Let in-flight background work (write-behinds) settle without

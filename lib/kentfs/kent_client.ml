@@ -108,14 +108,6 @@ let do_read_block t vn ~index =
   let g = gnode t vn.Vfs.Fs.vid in
   if index * block_size >= g.g_attrs.Localfs.size then (0, 0)
   else begin
-    (if Sys.getenv_opt "KENT_DEBUG" <> None then
-       let cached = Blockcache.Cache.peek t.cache ~file:g.g_ino ~index in
-       Printf.eprintf "[kent %s] t=%.2f read ino=%d idx=%d cached=%s\n%!"
-         (Netsim.Net.Host.name t.client)
-         (Sim.Engine.now t.engine) g.g_ino index
-         (match cached with
-          | Some (s, _) -> string_of_int s
-          | None -> "miss"));
     let result = Blockcache.Cache.read t.cache ~file:g.g_ino ~index in
     if
       t.config.read_ahead
@@ -131,10 +123,6 @@ let do_read_block t vn ~index =
 
 let do_write_block t vn ~index ~stamp ~len =
   let g = gnode t vn.Vfs.Fs.vid in
-  (if Sys.getenv_opt "KENT_DEBUG" <> None && index = 5 then
-     Printf.eprintf "[kent %s] t=%.2f WRITE idx=%d stamp=%d owned=%b\n%!"
-       (Netsim.Net.Host.name t.client) (Sim.Engine.now t.engine) index stamp
-       (Hashtbl.mem g.owned index));
   acquire t g ~index ~len;
   Blockcache.Cache.write t.cache ~file:g.g_ino ~index ~stamp ~len `Delayed;
   let size = max g.g_attrs.Localfs.size ((index * block_size) + len) in
@@ -228,11 +216,6 @@ let handle_callback t dec =
       ("writeback", Obs.Trace.Bool writeback);
       ("invalidate", Obs.Trace.Bool invalidate);
     ];
-  if Sys.getenv_opt "KENT_DEBUG" <> None then
-    Printf.eprintf "[kent %s] t=%.2f CB ino=%d idx=%d wb=%b inv=%b gnode=%b\n%!"
-      (Netsim.Net.Host.name t.client)
-      (Sim.Engine.now t.engine) ino index writeback invalidate
-      (Hashtbl.mem t.gnodes ino);
   (match Hashtbl.find_opt t.gnodes ino with
   | None -> ()
   | Some g ->

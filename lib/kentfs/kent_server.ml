@@ -139,10 +139,6 @@ let handle_acquire t ~caller d =
           in
           if size > current then
             Localfs.setattr (Nfs.Wire.core_fs t.core) ino ~size ());
-      (if Sys.getenv_opt "KENT_DEBUG" <> None && index = 5 then
-         let engine = Netsim.Net.engine (Netsim.Rpc.net t.rpc) in
-         Printf.eprintf "[kentsrv] t=%.2f ACQ ino=%d idx=%d by=%d\n%!"
-           (Sim.Engine.now engine) ino index caller);
       Nfs.Wire.enc_status e (Ok ())
   | exception Localfs.Error err -> Nfs.Wire.enc_status e (Error err));
   { Netsim.Rpc.data = Xdr.Enc.to_bytes e; bulk = 0 }
@@ -170,13 +166,6 @@ let handle_read t ~caller d =
               b.copyset <- caller :: b.copyset;
             result)
       in
-      (if Sys.getenv_opt "KENT_DEBUG" <> None && index = 5 then
-         let engine = Netsim.Net.engine (Netsim.Rpc.net t.rpc) in
-         Printf.eprintf
-           "[kentsrv] t=%.2f READ ino=%d idx=%d caller=%d -> stamp=%d owner=%s copyset=%s\n%!"
-           (Sim.Engine.now engine) ino index caller stamp
-           (match b.owner with Some o -> string_of_int o | None -> "-")
-           (String.concat "," (List.map string_of_int b.copyset)));
       Nfs.Wire.enc_status e (Ok ());
       Xdr.Enc.uint32 e stamp;
       Xdr.Enc.uint32 e len;

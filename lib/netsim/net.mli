@@ -23,6 +23,7 @@ type params = {
 }
 
 (** 10 Mbit/s LAN of the paper's era. *)
+(* snfs-lint: allow interface-drift — documented default parameter set *)
 val default_params : params
 
 val create : Sim.Engine.t -> ?params:params -> ?seed:int64 -> unit -> t
@@ -36,8 +37,10 @@ val set_drop_probability : t -> float -> unit
 val set_jitter : t -> float -> unit
 
 (** Messages transmitted / dropped so far. *)
+(* snfs-lint: allow interface-drift — network observability counter for experiments *)
 val messages_sent : t -> int
 val messages_dropped : t -> int
+(* snfs-lint: allow interface-drift — network observability counter for experiments *)
 val bytes_sent : t -> int
 
 module Host : sig

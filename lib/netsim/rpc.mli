@@ -24,6 +24,7 @@ type config = {
   cpu_per_kbyte : float;  (** marginal cost of touching payload bytes *)
 }
 
+(* snfs-lint: allow interface-drift — documented default configuration *)
 val default_config : config
 
 val create : Net.t -> ?config:config -> unit -> t
@@ -71,6 +72,7 @@ val set_on_restart : service -> (unit -> unit) -> unit
 
 (** The worker-thread pool, exposed so SNFS can enforce the "at most
     N-1 threads performing callbacks" rule. *)
+(* snfs-lint: allow interface-drift — server thread-pool introspection for experiments *)
 val thread_pool : service -> Sim.Semaphore.t
 
 (** [call t ~src ~dst ~prog ~proc ?bulk args] performs a remote call

@@ -49,6 +49,7 @@ val cache : t -> Blockcache.Cache.t
 
 (** Attribute-cache probe RPCs issued (the periodic consistency checks
     of Section 2.1). *)
+(* snfs-lint: allow interface-drift — consistency-protocol counter for experiment reports *)
 val attr_probes : t -> int
 
 (** Oracle hook: force everything dirty out to the server, so the

@@ -10,4 +10,5 @@
 
 val to_string : Trace.t -> string
 
+(* snfs-lint: allow interface-drift — one-call trace export for interactive sessions *)
 val write_file : Trace.t -> path:string -> unit

@@ -15,6 +15,7 @@ type t
     spent waiting before giving up. *)
 type outcome = Success | Timeout
 
+(* snfs-lint: allow interface-drift — latency introspection for report scripts *)
 val outcome_label : outcome -> string
 
 val create : unit -> t
@@ -29,6 +30,7 @@ val histogram : t -> prog:string -> proc:string -> Stats.Histogram.t
 
 (** The histogram for one procedure and outcome, created empty on
     first use. *)
+(* snfs-lint: allow interface-drift — latency introspection for report scripts *)
 val histogram_of :
   t -> outcome:outcome -> prog:string -> proc:string -> Stats.Histogram.t
 
@@ -36,9 +38,11 @@ val histogram_of :
 val errors : t -> prog:string -> proc:string -> int
 
 (** All [Success] histograms, sorted by [(prog, proc)]. *)
+(* snfs-lint: allow interface-drift — latency introspection for report scripts *)
 val to_list : t -> ((string * string) * Stats.Histogram.t) list
 
 (** All [(prog, proc)] pairs with any recording, sorted. *)
+(* snfs-lint: allow interface-drift — latency introspection for report scripts *)
 val procs : t -> (string * string) list
 
 val is_empty : t -> bool

@@ -30,7 +30,9 @@ val create : unit -> t
 
 (** {1 Global slot} *)
 
+(* snfs-lint: allow interface-drift — scoped-install lifecycle hook for test harnesses *)
 val install : t -> unit
+(* snfs-lint: allow interface-drift — scoped-install lifecycle hook for test harnesses *)
 val uninstall : unit -> unit
 
 (** True while a registry is installed. *)
@@ -82,6 +84,7 @@ val gauge_value : t -> ?labels:labels -> string -> float
 val counters_with : t -> string -> (labels * int) list
 
 (** The histogram under a name (created empty on first use). *)
+(* snfs-lint: allow interface-drift — registry accessor for report scripts *)
 val histogram : t -> ?labels:labels -> string -> Stats.Histogram.t
 
 (** {1 Sampling}

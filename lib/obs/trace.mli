@@ -35,8 +35,10 @@ type t
 val create : unit -> t
 
 (** Install [t] as the sink for all probe sites (one global slot). *)
+(* snfs-lint: allow interface-drift — scoped-install lifecycle hook for test harnesses *)
 val install : t -> unit
 
+(* snfs-lint: allow interface-drift — scoped-install lifecycle hook for test harnesses *)
 val uninstall : unit -> unit
 
 (** Is a tracer installed? Probe sites check this before building

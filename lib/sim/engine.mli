@@ -54,4 +54,5 @@ val suspend : t -> (('a -> unit) -> unit) -> 'a
 
 (** Reschedule the calling process after all events already queued at
     the current instant. *)
+(* snfs-lint: allow interface-drift — core cooperative-scheduling primitive *)
 val yield : t -> unit

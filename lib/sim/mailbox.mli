@@ -11,5 +11,7 @@ val recv : 'a t -> 'a
 (** [None] if the timeout elapses before a message arrives. *)
 val recv_timeout : 'a t -> float -> 'a option
 
+(* snfs-lint: allow interface-drift — queue introspection *)
 val length : 'a t -> int
+(* snfs-lint: allow interface-drift — queue introspection *)
 val is_empty : 'a t -> bool

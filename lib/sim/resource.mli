@@ -10,9 +10,12 @@ type t
 val create : Engine.t -> ?capacity:int -> string -> t
 
 val name : t -> string
+(* snfs-lint: allow interface-drift — resource introspection *)
 val capacity : t -> int
 
+(* snfs-lint: allow interface-drift — low-level pair underlying use, for non-scoped holds *)
 val acquire : t -> unit
+(* snfs-lint: allow interface-drift — low-level pair underlying use, for non-scoped holds *)
 val release : t -> unit
 
 (** [use t dur] acquires a unit, holds it for [dur] seconds of virtual
@@ -24,7 +27,9 @@ val use : t -> float -> unit
 val busy_time : t -> float
 
 (** Units currently held. *)
+(* snfs-lint: allow interface-drift — resource introspection *)
 val in_use : t -> int
 
 (** Processes blocked waiting for a unit. *)
+(* snfs-lint: allow interface-drift — resource introspection *)
 val queue_length : t -> int

@@ -6,6 +6,7 @@ type t
 val create : Engine.t -> int -> t
 
 (** Block until a unit is available, then take it. *)
+(* snfs-lint: allow interface-drift — low-level acquire underlying with_unit *)
 val acquire : t -> unit
 
 (** Take a unit without blocking; [false] if none available. *)
@@ -21,4 +22,5 @@ val with_unit : t -> (unit -> 'a) -> 'a
 val available : t -> int
 
 (** Number of processes blocked in [acquire]. *)
+(* snfs-lint: allow interface-drift — semaphore introspection *)
 val waiting : t -> int

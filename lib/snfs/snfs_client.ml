@@ -239,13 +239,6 @@ let do_close t vn mode =
 
 let do_read_block t vn ~index =
   let g = gnode t vn.Vfs.Fs.vid in
-  (if Sys.getenv_opt "KENT_DEBUG" <> None then
-     Printf.eprintf "[snfs %s] t=%.2f read ino=%d idx=%d ce=%b cached=%s\n%!"
-       (Netsim.Net.Host.name t.client) (Sim.Engine.now t.engine) g.g_ino index
-       g.g_cache_enabled
-       (match Blockcache.Cache.peek t.cache ~file:g.g_ino ~index with
-        | Some (s, _) -> string_of_int s
-        | None -> "miss"));
   if g.g_cache_enabled then begin
     if index * block_size >= g.g_attrs.Localfs.size then (0, 0)
     else begin

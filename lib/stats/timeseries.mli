@@ -11,6 +11,7 @@ type t
 (** [create ~bin name] makes a series with bins of [bin] seconds. *)
 val create : bin:float -> string -> t
 
+(* snfs-lint: allow interface-drift — identity accessor for report labelling *)
 val name : t -> string
 val bin_width : t -> float
 

@@ -1,0 +1,486 @@
+(* The AST static-analysis framework (lib/analysis).
+
+   Every pass is proven on a seeded bug (the finding fires, with the
+   right rule, on an inline fixture) and on the corresponding clean
+   variant (no finding). Fixtures are inline strings fed through
+   Driver.analyze, so nothing here can leak into the real tree scan.
+   Also covers waivers, the baseline file, parse-error reporting,
+   byte-identical JSON output across runs, and the property @lint
+   enforces: the built source tree itself is clean. *)
+
+module D = Analysis.Driver
+module F = Analysis.Finding
+module B = Analysis.Baseline
+
+let input path src = { D.path; src }
+
+let run inputs = (D.analyze inputs).D.findings
+
+let rule_findings name inputs =
+  List.filter (fun f -> f.F.rule = name) (run inputs)
+
+let count name inputs = List.length (rule_findings name inputs)
+
+let check_fires msg name inputs =
+  match rule_findings name inputs with
+  | [] -> Alcotest.fail (msg ^ ": expected a " ^ name ^ " finding, got none")
+  | _ :: _ -> ()
+
+let check_quiet msg name inputs =
+  match rule_findings name inputs with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.fail
+        (Printf.sprintf "%s: unexpected finding %s" msg (F.to_string f))
+
+(* ---- determinism ---- *)
+
+let test_determinism_seeded () =
+  List.iter
+    (fun call ->
+      check_fires call "determinism"
+        [ input "lib/obs/clock.ml" (Printf.sprintf "let now () = %s ()\n" call) ])
+    [ "Unix.gettimeofday"; "Unix.time"; "Sys.time"; "Random.self_init" ]
+
+let test_determinism_alias_flagged () =
+  (* referencing, not just calling: an alias cannot smuggle the clock *)
+  check_fires "alias" "determinism"
+    [ input "lib/obs/clock.ml" "let now = Unix.gettimeofday\n" ];
+  check_fires "Stdlib-qualified" "determinism"
+    [ input "lib/obs/clock.ml" "let p = Stdlib.print_endline\n" ]
+
+let test_determinism_scoping () =
+  let src = "let d () = Sys.getenv_opt \"DEBUG\"\n" in
+  check_fires "env read in lib/" "determinism" [ input "lib/a.ml" src ];
+  check_quiet "env read in test/" "determinism" [ input "test/t.ml" src ];
+  check_quiet "wall clock in bin/" "determinism"
+    [ input "bin/main.ml" "let t = Unix.gettimeofday ()\n" ];
+  check_fires "wall clock in test/" "determinism"
+    [ input "test/t.ml" "let t = Unix.gettimeofday ()\n" ];
+  check_fires "eprintf in lib/" "determinism"
+    [ input "lib/a.ml" "let d x = Printf.eprintf \"%d\" x\n" ];
+  check_quiet "sprintf in lib/" "determinism"
+    [ input "lib/a.ml" "let d x = Printf.sprintf \"%d\" x\n" ]
+
+let test_determinism_strings_inert () =
+  (* the parser, not a text scan: prose never trips the pass *)
+  check_quiet "comments and strings" "determinism"
+    [
+      input "lib/a.ml"
+        "(* Unix.gettimeofday would be wrong here *)\n\
+         let doc = \"call Sys.time ()\"\n";
+    ]
+
+(* ---- hashtbl-order ---- *)
+
+let test_hashtbl_order_seeded () =
+  check_fires "iter into sink" "hashtbl-order"
+    [
+      input "lib/srv/cb.ml"
+        "let flush t =\n\
+        \  Hashtbl.iter (fun target cb -> deliver_callback target cb) \
+         t.pending\n";
+    ]
+
+let test_hashtbl_order_fold_dataflow () =
+  (* taint flows through let-bindings and List transforms *)
+  check_fires "fold -> let -> rev -> iter sink" "hashtbl-order"
+    [
+      input "lib/srv/cb.ml"
+        "let flush t =\n\
+        \  let pending = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl \
+         [] in\n\
+        \  let ordered = List.rev pending in\n\
+        \  List.iter (fun (k, v) -> emit k v) ordered\n";
+    ]
+
+let test_hashtbl_order_sort_cleanses () =
+  check_quiet "sorted pipeline" "hashtbl-order"
+    [
+      input "lib/srv/cb.ml"
+        "let flush t =\n\
+        \  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.pending []\n\
+        \  |> List.sort compare\n\
+        \  |> List.iter (fun (target, cb) -> deliver_callback target cb)\n";
+    ];
+  check_quiet "sorted via binding" "hashtbl-order"
+    [
+      input "lib/srv/cb.ml"
+        "let flush t =\n\
+        \  let pending = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl \
+         [] in\n\
+        \  let ordered = List.sort compare pending in\n\
+        \  List.iter (fun (k, v) -> emit k v) ordered\n";
+    ]
+
+let test_hashtbl_order_no_sink () =
+  check_quiet "counting fold" "hashtbl-order"
+    [
+      input "lib/srv/cb.ml"
+        "let size t = Hashtbl.fold (fun _ _ n -> n + 1) t.blocks 0\n";
+    ]
+
+(* ---- yield-race ---- *)
+
+let gnode_type = "type gnode = { mutable g_version : int }\n"
+
+let test_yield_race_seeded () =
+  (* the classic stale-attribute race: snapshot a mutable field, block
+     on an RPC, use the snapshot as if still current *)
+  check_fires "stale read across RPC" "yield-race"
+    [
+      input "lib/snfs/x.ml"
+        (gnode_type
+       ^ "let refresh t g =\n\
+          \  let v = g.g_version in\n\
+          \  let attrs = Nfs.Wire.getattr (call t) (fh_of t g) in\n\
+          \  apply t g attrs v\n");
+    ]
+
+let test_yield_race_reread_ok () =
+  check_quiet "re-read after the yield point" "yield-race"
+    [
+      input "lib/snfs/x.ml"
+        (gnode_type
+       ^ "let refresh t g =\n\
+          \  let v = g.g_version in\n\
+          \  consider t v;\n\
+          \  let attrs = Nfs.Wire.getattr (call t) (fh_of t g) in\n\
+          \  let v = g.g_version in\n\
+          \  apply t g attrs v\n");
+    ]
+
+let test_yield_race_claim_and_clear_ok () =
+  (* read-then-overwrite is an ownership transfer, not a cached view *)
+  check_quiet "xid allocation idiom" "yield-race"
+    [
+      input "lib/netsim/x.ml"
+        "type t = { mutable next_xid : int }\n\
+         let issue t rpc =\n\
+        \  let xid = t.next_xid in\n\
+        \  t.next_xid <- xid + 1;\n\
+        \  Netsim.Rpc.call rpc ~xid;\n\
+        \  log xid\n";
+    ];
+  check_quiet "take-and-clear of a pending list" "yield-race"
+    [
+      input "lib/snfs/x.ml"
+        "type g = { mutable g_unsent : int list }\n\
+         let release t g =\n\
+        \  let unsent = g.g_unsent in\n\
+        \  g.g_unsent <- [];\n\
+        \  List.iter (fun u -> Nfs.Wire.snfs_close (call t) u) unsent\n";
+    ]
+
+let test_yield_race_hashtbl_and_ref () =
+  check_fires "Hashtbl.find across sleep" "yield-race"
+    [
+      input "lib/a.ml"
+        "let f t e k =\n\
+        \  let b = Hashtbl.find t.blocks k in\n\
+        \  Sim.Engine.sleep e 1.0;\n\
+        \  use b\n";
+    ];
+  check_fires "ref deref across sleep" "yield-race"
+    [
+      input "lib/a.ml"
+        "let f counter e =\n\
+        \  let v = !counter in\n\
+        \  Sim.Engine.sleep e 1.0;\n\
+        \  ignore v\n";
+    ];
+  check_quiet "ref claimed before sleep" "yield-race"
+    [
+      input "lib/a.ml"
+        "let f counter e =\n\
+        \  let v = !counter in\n\
+        \  counter := 0;\n\
+        \  Sim.Engine.sleep e 1.0;\n\
+        \  ignore v\n";
+    ]
+
+let test_yield_race_local_wrapper_fixpoint () =
+  (* the per-module fixpoint: [call] blocks because its body does *)
+  check_fires "local blocking wrapper" "yield-race"
+    [
+      input "lib/snfs/x.ml"
+        (gnode_type
+       ^ "let call t ~proc args = Netsim.Rpc.call t.rpc ~proc args\n\
+          let refresh t g =\n\
+          \  let v = g.g_version in\n\
+          \  let r = call t ~proc:1 g in\n\
+          \  apply t r v\n");
+    ]
+
+let test_yield_race_deferred_lambda_ok () =
+  (* Engine.spawn's thunk runs later: spawning does not block *)
+  check_quiet "spawned thunk does not cross the caller" "yield-race"
+    [
+      input "lib/a.ml"
+        (gnode_type
+       ^ "let f t g e =\n\
+          \  let v = g.g_version in\n\
+          \  Sim.Engine.spawn e ~name:\"bg\" (fun () ->\n\
+          \      Sim.Engine.sleep e 1.0);\n\
+          \  use v\n");
+    ]
+
+let test_yield_race_scope () =
+  check_quiet "test/ is out of scope" "yield-race"
+    [
+      input "test/t.ml"
+        (gnode_type
+       ^ "let f g e =\n\
+          \  let v = g.g_version in\n\
+          \  Sim.Engine.sleep e 1.0;\n\
+          \  use v\n");
+    ]
+
+(* ---- purity ---- *)
+
+let test_purity_seeded () =
+  check_fires "printing from the core model" "purity"
+    [ input "lib/core/state_table.ml" "let d () = print_endline \"x\"\n" ];
+  check_fires "simulator reference in the core model" "purity"
+    [ input "lib/core/state_table.ml" "let n e = Sim.Engine.now e\n" ];
+  check_fires "I/O module reference in model.ml" "purity"
+    [ input "lib/check/model.ml" "let r f = In_channel.input_all f\n" ];
+  check_fires "toplevel mutable state" "purity"
+    [ input "lib/core/state_table.ml" "let table = Hashtbl.create 16\n" ]
+
+let test_purity_clean_variants () =
+  check_quiet "sprintf is pure" "purity"
+    [ input "lib/core/state_table.ml" "let s x = Printf.sprintf \"%d\" x\n" ];
+  check_quiet "mutable state inside a function" "purity"
+    [ input "lib/core/state_table.ml" "let f () = Hashtbl.create 16\n" ];
+  check_quiet "other lib/ modules are out of scope" "purity"
+    [ input "lib/obs/x.ml" "let n e = Sim.Engine.now e\n" ]
+
+(* ---- interface-drift ---- *)
+
+let drift_fixture b_src =
+  [
+    input "lib/m/a.mli" "val used : int -> int\nval dead : int -> int\n";
+    input "lib/m/a.ml" "let used x = B.g x\nlet dead x = used x\n";
+    input "lib/m/b.ml" b_src;
+    input "lib/m/b.mli" "val g : int -> int\n";
+  ]
+
+let test_interface_drift_seeded () =
+  match rule_findings "interface-drift" (drift_fixture "let g x = A.used x\n") with
+  | [ f ] ->
+      Alcotest.(check string) "path" "lib/m/a.mli" f.F.path;
+      Alcotest.(check bool) "names the dead val" true
+        (String.length f.F.message >= 8 && String.sub f.F.message 0 8 = "val dead")
+  | fs ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly the dead val, got %d findings"
+           (List.length fs))
+
+let test_interface_drift_alias_resolved () =
+  (* module X = A ... X.dead counts as a use of A.dead *)
+  check_quiet "alias use" "interface-drift"
+    (drift_fixture "module X = A\nlet g x = X.used (X.dead x)\n")
+
+let test_interface_drift_open_skips_module () =
+  (* open A makes bare references unattributable: A is skipped *)
+  check_quiet "open suppresses drift for the module" "interface-drift"
+    (drift_fixture "open A\nlet g x = used x\n")
+
+(* ---- missing-mli ---- *)
+
+let test_missing_mli () =
+  check_fires "lib/ module without interface" "missing-mli"
+    [ input "lib/core/lone.ml" "let x = 1\n" ];
+  check_quiet "paired module" "missing-mli"
+    [ input "lib/core/a.ml" "let x = 1\n"; input "lib/core/a.mli" "val x : int\n" ];
+  check_quiet "tests need no interfaces" "missing-mli"
+    [ input "test/t.ml" "let x = 1\n" ]
+
+(* ---- waivers ---- *)
+
+let test_waiver () =
+  let waived =
+    "let flush t =\n\
+    \  (* snfs-lint: allow hashtbl-order — replay order is pinned upstream *)\n\
+    \  Hashtbl.iter (fun target cb -> deliver_callback target cb) t.pending\n"
+  in
+  Alcotest.(check int) "justified waiver on the line above" 0
+    (count "hashtbl-order" [ input "lib/srv/cb.ml" waived ]);
+  let wrong_rule =
+    "let flush t =\n\
+    \  (* snfs-lint: allow determinism *)\n\
+    \  Hashtbl.iter (fun target cb -> deliver_callback target cb) t.pending\n"
+  in
+  Alcotest.(check int) "waiver is per-rule" 1
+    (count "hashtbl-order" [ input "lib/srv/cb.ml" wrong_rule ]);
+  let prefix =
+    "let now () =\n\
+    \  (* snfs-lint: allow determinism *)\n\
+    \  Unix.gettimeofday ()\n"
+  in
+  Alcotest.(check int) "waived determinism" 0
+    (count "determinism" [ input "lib/a.ml" prefix ])
+
+let test_waiver_name_boundary () =
+  (* "allow yield" must not waive "yield-race" *)
+  let src =
+    "type g = { mutable g_version : int }\n\
+     let f g e =\n\
+    \  let v = g.g_version in\n\
+    \  (* snfs-lint: allow yield *)\n\
+    \  Sim.Engine.sleep e 1.0;\n\
+    \  use v\n"
+  in
+  Alcotest.(check int) "prefix of a rule name is not a waiver" 1
+    (count "yield-race" [ input "lib/a.ml" src ])
+
+(* ---- parse errors ---- *)
+
+let test_parse_error () =
+  check_fires "unparseable file is itself a finding" "parse-error"
+    [ input "lib/a.ml" "let = in in\n" ]
+
+(* ---- baseline ---- *)
+
+let test_baseline () =
+  let f1 = F.v ~path:"lib/a.ml" ~line:3 ~rule:"determinism" "m1"
+  and f2 = F.v ~path:"lib/b.ml" ~line:9 ~rule:"yield-race" "m2" in
+  let b = B.of_string (B.to_string [ f1 ]) in
+  let fresh, baselined = B.apply b [ f1; f2 ] in
+  Alcotest.(check int) "f1 absorbed" 1 (List.length baselined);
+  Alcotest.(check int) "f2 fresh" 1 (List.length fresh);
+  (* match is by rule/path/message, not line: edits above must not
+     resurrect a baselined finding *)
+  let moved = { f1 with F.line = 42 } in
+  let fresh, baselined = B.apply b [ moved ] in
+  Alcotest.(check int) "line-independent match" 1 (List.length baselined);
+  Alcotest.(check int) "nothing fresh" 0 (List.length fresh);
+  let junk = B.of_string "# comment\n\nnot a baseline line\n" in
+  let fresh, _ = B.apply junk [ f2 ] in
+  Alcotest.(check int) "malformed lines are ignored" 1 (List.length fresh)
+
+let test_driver_end_to_end () =
+  let inputs =
+    [ input "lib/a.ml" "let now = Unix.gettimeofday\n"; input "lib/a.mli" "" ]
+  in
+  let r = D.analyze inputs in
+  let det = List.filter (fun f -> f.F.rule = "determinism") r.D.findings in
+  let baseline =
+    B.of_string (B.to_string det)
+  in
+  let r2 = D.analyze ~baseline inputs in
+  Alcotest.(check int) "baselined run has no fresh determinism findings" 0
+    (List.length
+       (List.filter (fun f -> f.F.rule = "determinism") r2.D.fresh));
+  Alcotest.(check int) "baselined findings are reported as such"
+    (List.length det) (List.length r2.D.baselined)
+
+(* ---- output determinism and format ---- *)
+
+let test_finding_format () =
+  let f = F.v ~path:"lib/a.ml" ~line:12 ~col:4 ~rule:"determinism" "m" in
+  Alcotest.(check string) "GNU error format"
+    "lib/a.ml:12:4: error: [determinism] m" (F.to_string f);
+  Alcotest.(check string) "JSON object, fixed field order"
+    {|{"path":"lib/a.ml","line":12,"col":4,"rule":"determinism","message":"m"}|}
+    (F.to_json f)
+
+let test_registry () =
+  Alcotest.(check (list string)) "pass registry"
+    [
+      "determinism"; "hashtbl-order"; "yield-race"; "purity";
+      "interface-drift"; "missing-mli";
+    ]
+    (List.map (fun p -> p.Analysis.Pass.name) D.passes)
+
+let test_json_deterministic () =
+  (* two full analyzer runs over the real tree must emit byte-identical
+     JSON *)
+  let report () =
+    F.report_to_json (D.analyze (D.load_tree "..")).D.findings
+  in
+  let a = report () and b = report () in
+  Alcotest.(check string) "byte-identical reports" a b
+
+let test_tree_is_clean () =
+  (* the property @lint enforces, from the test suite's angle: the
+     built source tree has no non-waived findings *)
+  let r = D.analyze (D.load_tree "..") in
+  List.iter (fun f -> print_endline (F.to_string f)) r.D.fresh;
+  Alcotest.(check int) "repository tree is clean" 0 (List.length r.D.fresh)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "seeded calls fire" `Quick test_determinism_seeded;
+          Alcotest.test_case "aliases fire too" `Quick
+            test_determinism_alias_flagged;
+          Alcotest.test_case "bin//test/ scoping" `Quick
+            test_determinism_scoping;
+          Alcotest.test_case "strings and comments inert" `Quick
+            test_determinism_strings_inert;
+        ] );
+      ( "hashtbl-order",
+        [
+          Alcotest.test_case "iter into sink fires" `Quick
+            test_hashtbl_order_seeded;
+          Alcotest.test_case "fold taint flows through lets" `Quick
+            test_hashtbl_order_fold_dataflow;
+          Alcotest.test_case "sort cleanses" `Quick
+            test_hashtbl_order_sort_cleanses;
+          Alcotest.test_case "no sink, no finding" `Quick
+            test_hashtbl_order_no_sink;
+        ] );
+      ( "yield-race",
+        [
+          Alcotest.test_case "stale read across RPC fires" `Quick
+            test_yield_race_seeded;
+          Alcotest.test_case "re-read is clean" `Quick
+            test_yield_race_reread_ok;
+          Alcotest.test_case "claim-and-clear is clean" `Quick
+            test_yield_race_claim_and_clear_ok;
+          Alcotest.test_case "Hashtbl.find and !ref sources" `Quick
+            test_yield_race_hashtbl_and_ref;
+          Alcotest.test_case "local wrapper fixpoint" `Quick
+            test_yield_race_local_wrapper_fixpoint;
+          Alcotest.test_case "deferred lambdas don't block" `Quick
+            test_yield_race_deferred_lambda_ok;
+          Alcotest.test_case "lib/-only scope" `Quick test_yield_race_scope;
+        ] );
+      ( "purity",
+        [
+          Alcotest.test_case "seeded impurities fire" `Quick
+            test_purity_seeded;
+          Alcotest.test_case "clean variants" `Quick
+            test_purity_clean_variants;
+        ] );
+      ( "interface-drift",
+        [
+          Alcotest.test_case "dead val fires" `Quick
+            test_interface_drift_seeded;
+          Alcotest.test_case "module aliases resolve" `Quick
+            test_interface_drift_alias_resolved;
+          Alcotest.test_case "open skips the module" `Quick
+            test_interface_drift_open_skips_module;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "missing .mli" `Quick test_missing_mli;
+          Alcotest.test_case "waivers" `Quick test_waiver;
+          Alcotest.test_case "waiver name boundary" `Quick
+            test_waiver_name_boundary;
+          Alcotest.test_case "parse errors are findings" `Quick
+            test_parse_error;
+          Alcotest.test_case "baseline semantics" `Quick test_baseline;
+          Alcotest.test_case "baseline end-to-end" `Quick
+            test_driver_end_to_end;
+          Alcotest.test_case "finding formats" `Quick test_finding_format;
+          Alcotest.test_case "pass registry" `Quick test_registry;
+          Alcotest.test_case "JSON output is byte-deterministic" `Quick
+            test_json_deterministic;
+          Alcotest.test_case "tree is clean" `Quick test_tree_is_clean;
+        ] );
+    ]

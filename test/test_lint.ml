@@ -1,159 +1,86 @@
-(* The determinism lint (lib/check/lint).
+(* Check.Lint.strip — the position-preserving comment/string stripper
+   retained for textual tooling (the lint rules themselves are AST
+   passes now; see test_analysis.ml).
 
-   Each rule is proven to fire on a negative fixture and to stay quiet
-   on the corresponding clean variant: nondeterminism sources
-   (wall-clock, self-seeded RNG) outside bin/, order-sensitive Hashtbl
-   iteration feeding trace/callback emission, and lib/ modules without
-   an interface. Also covers the waiver comment, comment/string
-   stripping, and the bin/ exemption. *)
+   Stripping must blank comment bodies, string/char literal contents
+   and quoted-string literals while preserving every newline and
+   column, so line/column positions computed on stripped text match
+   the original source. *)
 
-module L = Check.Lint
+let strip = Check.Lint.strip
 
-let scan ~path src = L.scan_source ~path src
+let check_strip msg src expected =
+  Alcotest.(check string) msg expected (strip src)
 
-let test_determinism_fires () =
-  List.iter
-    (fun call ->
-      let src = Printf.sprintf "let now () = %s ()\n" call in
-      match scan ~path:"lib/obs/clock.ml" src with
-      | [ f ] ->
-          Alcotest.(check string) (call ^ ": rule") "determinism" f.L.f_rule;
-          Alcotest.(check int) (call ^ ": line") 1 f.L.f_line
-      | fs ->
-          Alcotest.fail
-            (Printf.sprintf "%s: expected 1 finding, got %d" call
-               (List.length fs)))
-    [ "Unix.gettimeofday"; "Unix.time"; "Sys.time"; "Random.self_init" ]
-
-let test_determinism_exempt_in_bin () =
-  let src = "let () = Printf.printf \"%.2f\" (Sys.time ())\n" in
-  Alcotest.(check int) "bin/ may read the wall clock" 0
-    (List.length (scan ~path:"bin/snfs_check.ml" src))
-
-let test_determinism_word_boundaries () =
-  (* substrings inside longer identifiers must not trip the rule *)
-  let src = "let x = My_unix.gettimeofday_count\nlet y = sys_time_ish\n" in
-  Alcotest.(check int) "no false positive on compound identifiers" 0
-    (List.length (scan ~path:"lib/a.ml" src))
-
-let test_hashtbl_order_fires () =
-  let src =
-    "let flush t =\n\
-    \  Hashtbl.iter (fun target cb -> deliver_callback target cb) t.pending\n"
-  in
-  match scan ~path:"lib/srv/cb.ml" src with
-  | [ f ] ->
-      Alcotest.(check string) "rule" "hashtbl-order" f.L.f_rule;
-      Alcotest.(check int) "line" 2 f.L.f_line
-  | fs ->
-      Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length fs))
-
-let test_hashtbl_order_sorted_ok () =
-  let src =
-    "let flush t =\n\
-    \  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.pending []\n\
-    \  |> List.sort compare\n\
-    \  |> List.iter (fun (target, cb) -> deliver_callback target cb)\n"
-  in
-  Alcotest.(check int) "a sort in the window suppresses the finding" 0
-    (List.length (scan ~path:"lib/srv/cb.ml" src))
-
-let test_hashtbl_order_no_sink_ok () =
-  let src = "let size t = Hashtbl.fold (fun _ _ n -> n + 1) t.blocks 0\n" in
-  Alcotest.(check int) "iteration without an emission sink is fine" 0
-    (List.length (scan ~path:"lib/srv/cb.ml" src))
-
-let test_waiver () =
-  let src =
-    "let flush t =\n\
-    \  (* snfs-lint: allow hashtbl-order *)\n\
-    \  Hashtbl.iter (fun target cb -> deliver_callback target cb) t.pending\n"
-  in
-  Alcotest.(check int) "waiver comment on the preceding line" 0
-    (List.length (scan ~path:"lib/srv/cb.ml" src));
-  let wrong =
-    "let flush t =\n\
-    \  (* snfs-lint: allow determinism *)\n\
-    \  Hashtbl.iter (fun target cb -> deliver_callback target cb) t.pending\n"
-  in
-  Alcotest.(check int) "waiver is per-rule" 1
-    (List.length (scan ~path:"lib/srv/cb.ml" wrong))
-
-let test_strings_and_comments_inert () =
-  let src =
-    "(* Unix.gettimeofday would be wrong here; Hashtbl.iter emit *)\n\
-     let doc = \"call Sys.time () and deliver_callback via Hashtbl.iter\"\n\
-     let c = 'S'\n\
-     (* nested (* Random.self_init *) still a comment *)\n"
-  in
-  Alcotest.(check int) "comments, strings, char literals are stripped" 0
-    (List.length (scan ~path:"lib/a.ml" src))
-
-let test_missing_mli () =
-  let fs =
-    L.check_mli_pairs
-      [ "lib/core/state_table.ml"; "lib/core/state_table.mli"; "lib/core/lone.ml" ]
-  in
-  match fs with
-  | [ f ] ->
-      Alcotest.(check string) "rule" "missing-mli" f.L.f_rule;
-      Alcotest.(check string) "path" "lib/core/lone.ml" f.L.f_path
-  | _ -> Alcotest.fail "expected exactly the interface-less module"
-
-let test_finding_format () =
-  let f =
-    { L.f_path = "lib/a.ml"; f_line = 12; f_rule = "determinism"; f_message = "m" }
-  in
-  Alcotest.(check string) "GNU error format (editor-parseable)"
-    "lib/a.ml:12: error: [determinism] m" (L.to_string f)
-
-let test_tree_is_clean () =
-  (* the tests run from _build/default/test; ".." is the built source
-     tree, which must be lint-clean — the same property @lint enforces *)
-  let findings = L.scan_tree ".." in
-  List.iter (fun f -> print_endline (L.to_string f)) findings;
-  Alcotest.(check int) "repository tree is lint-clean" 0 (List.length findings)
-
-let test_strip_positions () =
-  (* stripping must preserve line structure so findings point at the
-     right line *)
+let test_preserves_shape () =
   let src = "(* a\n   b *)\nlet x = 1\n" in
-  let stripped = L.strip src in
+  let stripped = strip src in
   Alcotest.(check int) "same length" (String.length src)
     (String.length stripped);
-  Alcotest.(check bool) "newlines preserved" true
-    (String.index_from stripped 0 '\n' = String.index_from src 0 '\n')
+  String.iteri
+    (fun i c ->
+      if c = '\n' then
+        Alcotest.(check char) (Printf.sprintf "newline at %d" i) '\n'
+          stripped.[i])
+    src
+
+let test_comments () =
+  check_strip "comment fully blanked" "x (* gone *) y" "x            y";
+  check_strip "nested comments" "(* a (* b *) c *)z" "                 z"
+
+let test_strings_and_chars () =
+  check_strip "string contents blanked" {|let s = "abc"|} "let s = \"   \"";
+  check_strip "escapes blanked" "let s = \"a\\\"b\"" "let s = \"    \"";
+  check_strip "char literal" "let c = 'S'" "let c = ' '";
+  check_strip "escaped char literal" {|let c = '\n'|} "let c = '  '"
+
+let test_quoted_strings () =
+  (* {|...|}: contents must not leak into rule matching *)
+  check_strip "basic quoted string" "let s = {|Hashtbl.iter x|}"
+    "let s = {|              |}";
+  check_strip "delimited quoted string" "let s = {foo|a b|foo}"
+    "let s = {foo|   |foo}";
+  (* a bare |} inside a delimited literal does not close it *)
+  check_strip "inner bar-brace is content" "let s = {foo|a |} b|foo}"
+    "let s = {foo|      |foo}";
+  (* double quotes inside a quoted string are content, not a string
+     opener: the following code must stay intact *)
+  check_strip "quote inside quoted string" "let s = {|a \" b|} let y = 1"
+    "let s = {|     |} let y = 1";
+  let src = "let s = {|line1\nline2|}\nlet y = 2\n" in
+  let stripped = strip src in
+  Alcotest.(check int) "newlines inside quoted strings survive"
+    (String.length src) (String.length stripped);
+  Alcotest.(check bool) "code after the literal is intact" true
+    (String.length stripped >= 9
+    && String.sub stripped (String.length stripped - 10) 9 = "let y = 2")
+
+let test_not_a_quoted_string () =
+  (* record expressions and braces that are not quoted strings pass
+     through untouched *)
+  let src = "let r = { a with b = c } in {| s |}" in
+  check_strip "record braces untouched" src "let r = { a with b = c } in {|   |}"
+
+let test_unterminated () =
+  (* pathological input must terminate and blank to the end *)
+  let src = "let s = {foo|never closed" in
+  let stripped = strip src in
+  Alcotest.(check int) "same length" (String.length src)
+    (String.length stripped)
 
 let () =
-  Alcotest.run "lint"
+  Alcotest.run "lint-strip"
     [
-      ( "determinism",
+      ( "strip",
         [
-          Alcotest.test_case "wall-clock and RNG calls fire" `Quick
-            test_determinism_fires;
-          Alcotest.test_case "bin/ is exempt" `Quick
-            test_determinism_exempt_in_bin;
-          Alcotest.test_case "word boundaries respected" `Quick
-            test_determinism_word_boundaries;
-        ] );
-      ( "hashtbl-order",
-        [
-          Alcotest.test_case "unsorted iteration into a sink fires" `Quick
-            test_hashtbl_order_fires;
-          Alcotest.test_case "sorted pipeline is quiet" `Quick
-            test_hashtbl_order_sorted_ok;
-          Alcotest.test_case "no sink, no finding" `Quick
-            test_hashtbl_order_no_sink_ok;
-          Alcotest.test_case "waiver comment" `Quick test_waiver;
-        ] );
-      ( "hygiene",
-        [
-          Alcotest.test_case "strings/comments/chars are inert" `Quick
-            test_strings_and_comments_inert;
-          Alcotest.test_case "strip preserves positions" `Quick
-            test_strip_positions;
-          Alcotest.test_case "missing .mli" `Quick test_missing_mli;
-          Alcotest.test_case "finding format" `Quick test_finding_format;
-          Alcotest.test_case "tree is clean" `Quick test_tree_is_clean;
+          Alcotest.test_case "preserves length and newlines" `Quick
+            test_preserves_shape;
+          Alcotest.test_case "comments" `Quick test_comments;
+          Alcotest.test_case "strings and chars" `Quick
+            test_strings_and_chars;
+          Alcotest.test_case "quoted strings" `Quick test_quoted_strings;
+          Alcotest.test_case "plain braces untouched" `Quick
+            test_not_a_quoted_string;
+          Alcotest.test_case "unterminated input" `Quick test_unterminated;
         ] );
     ]
