@@ -277,6 +277,31 @@ let ablations_cmd =
        ~doc:"Run the design-choice ablations on the Andrew benchmark.")
     Term.(const run $ const ())
 
+let campaign_cmd =
+  let jobs_arg =
+    let doc =
+      "Run the campaign's configurations on $(docv) OCaml domains. \
+       Results (and their order) are byte-identical to --jobs 1; only \
+       the wall-clock time changes."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let run jobs =
+    if jobs < 1 then Error "jobs must be >= 1"
+    else begin
+      let runs = Experiments.Campaign.run ~jobs (Experiments.Campaign.default ()) in
+      print_string (Experiments.Campaign.table runs);
+      Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run the standard campaign (every protocol stack and design \
+          variant, one Andrew run each), optionally fanned out over \
+          domains with --jobs.")
+    Term.(term_result' (const run $ jobs_arg))
+
 let scaling_cmd =
   let run () = print_string (Experiments.Scaling_exp.table ()) in
   Cmd.v
@@ -292,6 +317,6 @@ let main =
        ~doc:
          "Spritely NFS reproduction: regenerate the tables and figures of \
           Srinivasan & Mogul, SOSP 1989, from a discrete-event simulation.")
-    [ table_cmd; figures_cmd; all_cmd; andrew_cmd; sort_cmd; scaling_cmd; ablations_cmd; trace_cmd; sharing_cmd ]
+    [ table_cmd; figures_cmd; all_cmd; andrew_cmd; sort_cmd; campaign_cmd; scaling_cmd; ablations_cmd; trace_cmd; sharing_cmd ]
 
 let () = exit (Cmd.eval main)

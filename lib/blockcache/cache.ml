@@ -14,8 +14,15 @@ type block = {
   mutable w : wstate;
   mutable doomed : bool; (* deleted while a write/fetch was in flight *)
   mutable write_waiters : (unit -> unit) list;
-  mutable lru_prev : block option;
-  mutable lru_next : block option;
+  (* Intrusive links. A self-loop ([b.lru_next == b]) means "not
+     linked on that side": option links would allocate a [Some] box on
+     every touch, and the LRU is touched once per cache hit. The LRU
+     list is circular through a sentinel block; the per-file chain is
+     a plain doubly-linked list whose head hangs off [file_heads]. *)
+  mutable lru_prev : block;
+  mutable lru_next : block;
+  mutable fprev : block; (* per-file chain, insertion order *)
+  mutable fnext : block;
 }
 
 type pending = { mutable count : int; mutable waiters : (unit -> unit) list }
@@ -26,10 +33,22 @@ type t = {
   capacity : int;
   block_size : int;
   backend : backend;
-  files : (int, (int, block) Hashtbl.t) Hashtbl.t;
+  (* Open-addressing table from packed (file, index) keys to blocks
+     (linear probing, power-of-two capacity, load factor <= 1/2).
+     [find] runs on every cache read and write; Hashtbl's generic int
+     hashing and bucket chains were a steady profile line, and here a
+     probe is a physical compare and an int compare. [tempty] and
+     [ttomb] are sentinel blocks marking never-used and deleted slots;
+     keys in those slots are meaningless. *)
+  mutable tkeys : int array;
+  mutable tvals : block array;
+  mutable tlive : int; (* real entries *)
+  mutable tused : int; (* real entries + tombstones *)
+  tempty : block;
+  ttomb : block;
+  file_heads : (int, block) Hashtbl.t; (* newest block of each file *)
   mutable count : int;
-  mutable lru_head : block option; (* least recently used *)
-  mutable lru_tail : block option; (* most recently used *)
+  lru : block; (* sentinel: lru_next side is least recently used *)
   pending : (int, pending) Hashtbl.t; (* async write-behinds per file *)
   mutable hits : int;
   mutable misses : int;
@@ -39,8 +58,119 @@ type t = {
   mutable syncer_started : bool;
 }
 
+let new_block ~file ~index =
+  let rec b =
+    {
+      bfile = file;
+      bindex = index;
+      stamp = 0;
+      len = 0;
+      fetching = None;
+      w = Clean;
+      doomed = false;
+      write_waiters = [];
+      lru_prev = b;
+      lru_next = b;
+      fprev = b;
+      fnext = b;
+    }
+  in
+  b
+
+(* ---- open-addressing block table ---- *)
+
+(* multiplicative mixing so packed keys (file lsl 21 lor index, where
+   both halves are small) spread over the low bits used for the slot *)
+let tab_index t k =
+  let h = (k * 0x9E3779B1) lxor (k asr 21) in
+  h land (Array.length t.tkeys - 1)
+
+let tab_find t k =
+  let keys = t.tkeys and vals = t.tvals in
+  let mask = Array.length keys - 1 in
+  let rec probe i =
+    let v = Array.unsafe_get vals i in
+    if v == t.tempty then None
+    else if v != t.ttomb && Array.unsafe_get keys i = k then Some v
+    else probe ((i + 1) land mask)
+  in
+  probe (tab_index t k)
+
+(* raw insert during rehash: no duplicate or tombstone checks *)
+let tab_place t k v =
+  let keys = t.tkeys and vals = t.tvals in
+  let mask = Array.length keys - 1 in
+  let rec probe i =
+    if Array.unsafe_get vals i == t.tempty then begin
+      Array.unsafe_set keys i k;
+      Array.unsafe_set vals i v
+    end
+    else probe ((i + 1) land mask)
+  in
+  probe (tab_index t k)
+
+let tab_rehash t cap =
+  let keys = t.tkeys and vals = t.tvals in
+  t.tkeys <- Array.make cap 0;
+  t.tvals <- Array.make cap t.tempty;
+  t.tused <- t.tlive;
+  for i = 0 to Array.length vals - 1 do
+    let v = Array.unsafe_get vals i in
+    if v != t.tempty && v != t.ttomb then tab_place t keys.(i) v
+  done
+
+let tab_add t k b =
+  (* keep load factor (including tombstones) at or below 1/2; rehash
+     in place when tombstones alone crossed the threshold *)
+  if 2 * (t.tused + 1) > Array.length t.tkeys then
+    tab_rehash t
+      (if 2 * (t.tlive + 1) > Array.length t.tkeys then
+         2 * Array.length t.tkeys
+       else Array.length t.tkeys);
+  let keys = t.tkeys and vals = t.tvals in
+  let mask = Array.length keys - 1 in
+  (* [slot] remembers the first tombstone passed, so deleted slots are
+     reused before empty ones *)
+  let rec probe i slot =
+    let v = Array.unsafe_get vals i in
+    if v == t.tempty then begin
+      let dst = if slot >= 0 then slot else i in
+      if dst = i then t.tused <- t.tused + 1;
+      Array.unsafe_set keys dst k;
+      Array.unsafe_set vals dst b;
+      t.tlive <- t.tlive + 1
+    end
+    else if v != t.ttomb && Array.unsafe_get keys i = k then
+      Array.unsafe_set vals i b (* overwrite in place *)
+    else probe ((i + 1) land mask) (if slot < 0 && v == t.ttomb then i else slot)
+  in
+  probe (tab_index t k) (-1)
+
+let tab_remove t k =
+  let keys = t.tkeys and vals = t.tvals in
+  let mask = Array.length keys - 1 in
+  let rec probe i =
+    let v = Array.unsafe_get vals i in
+    if v == t.tempty then false
+    else if v != t.ttomb && Array.unsafe_get keys i = k then begin
+      Array.unsafe_set vals i t.ttomb;
+      t.tlive <- t.tlive - 1;
+      true
+    end
+    else probe ((i + 1) land mask)
+  in
+  probe (tab_index t k)
+
+let tab_iter t f =
+  let vals = t.tvals in
+  for i = 0 to Array.length vals - 1 do
+    let v = Array.unsafe_get vals i in
+    if v != t.tempty && v != t.ttomb then f v
+  done
+
 let create engine ~name ~capacity_blocks ~block_size backend =
   if capacity_blocks <= 0 then invalid_arg "Cache.create: capacity must be > 0";
+  let tempty = new_block ~file:(-1) ~index:0 in
   let t =
     {
       engine;
@@ -48,10 +178,15 @@ let create engine ~name ~capacity_blocks ~block_size backend =
       capacity = capacity_blocks;
       block_size;
       backend;
-      files = Hashtbl.create 64;
+      tkeys = Array.make 512 0;
+      tvals = Array.make 512 tempty;
+      tlive = 0;
+      tused = 0;
+      tempty;
+      ttomb = new_block ~file:(-1) ~index:0;
+      file_heads = Hashtbl.create 64;
       count = 0;
-      lru_head = None;
-      lru_tail = None;
+      lru = new_block ~file:(-1) ~index:0;
       pending = Hashtbl.create 16;
       hits = 0;
       misses = 0;
@@ -71,14 +206,10 @@ let create engine ~name ~capacity_blocks ~block_size backend =
     (fun () ->
       (* a count is order-independent, so the unsorted table walk is
          deterministic *)
-      Hashtbl.fold
-        (fun _ per_file acc ->
-          Hashtbl.fold
-            (fun _ b acc ->
-              match b.w with Dirty _ | Writing _ -> acc + 1 | Clean -> acc)
-            per_file acc)
-        t.files 0
-      |> float_of_int);
+      let n = ref 0 in
+      tab_iter t (fun b ->
+          match b.w with Dirty _ | Writing _ -> incr n | Clean -> ());
+      float_of_int !n);
   t
 
 let name t = t.name
@@ -109,29 +240,22 @@ let cache_event t name ~file ~index =
 
 (* ---- LRU list ---- *)
 
-let lru_unlink t b =
-  (match b.lru_prev with
-  | Some p -> p.lru_next <- b.lru_next
-  | None -> (
-      (* physical identity: b may not be linked at all *)
-      match t.lru_head with
-      | Some h when h == b -> t.lru_head <- b.lru_next
-      | Some _ | None -> ()));
-  (match b.lru_next with
-  | Some n -> n.lru_prev <- b.lru_prev
-  | None -> (
-      match t.lru_tail with
-      | Some tl when tl == b -> t.lru_tail <- b.lru_prev
-      | Some _ | None -> ()));
-  b.lru_prev <- None;
-  b.lru_next <- None
+(* circular through the sentinel; no allocation on any path *)
+let lru_unlink _t b =
+  if b.lru_next != b then begin
+    b.lru_prev.lru_next <- b.lru_next;
+    b.lru_next.lru_prev <- b.lru_prev;
+    b.lru_prev <- b;
+    b.lru_next <- b
+  end
 
 let lru_append t b =
-  b.lru_prev <- t.lru_tail;
-  b.lru_next <- None;
-  (match t.lru_tail with Some p -> p.lru_next <- Some b | None -> ());
-  t.lru_tail <- Some b;
-  if t.lru_head = None then t.lru_head <- Some b
+  let s = t.lru in
+  let last = s.lru_prev in
+  last.lru_next <- b;
+  b.lru_prev <- last;
+  b.lru_next <- s;
+  s.lru_prev <- b
 
 let touch t b =
   lru_unlink t b;
@@ -139,39 +263,75 @@ let touch t b =
 
 (* ---- table ---- *)
 
-let find t ~file ~index =
-  match Hashtbl.find_opt t.files file with
-  | None -> None
-  | Some per_file -> Hashtbl.find_opt per_file index
+(* One flat table with the block address packed into a single int key:
+   the lookup on every cache read/write hashes one immediate int
+   instead of walking two tables (and allocates one option instead of
+   two). 21 bits of index is a 2 GB file at 1 kB blocks — far beyond
+   anything the workloads create — and leaves 40+ bits for file ids. *)
+let index_bits = 21
+
+let key ~file ~index =
+  if index < 0 || index lsr index_bits <> 0 then
+    invalid_arg (Printf.sprintf "Cache: block index %d out of range" index);
+  (file lsl index_bits) lor index
+
+let find t ~file ~index = tab_find t (key ~file ~index)
+
+(* The per-file doubly-linked chain replaces the old per-file hash
+   tables for whole-file walks (flush, invalidate, drop). Chain order
+   is reverse insertion order — deterministic; callers that need a
+   particular order sort, as they already did for the hash walk. *)
+let chain_unlink t b =
+  (if b.fprev == b then (
+     (* no predecessor: b is the head of its chain, or unlinked *)
+     match Hashtbl.find_opt t.file_heads b.bfile with
+     | Some h when h == b ->
+         if b.fnext == b then Hashtbl.remove t.file_heads b.bfile
+         else begin
+           b.fnext.fprev <- b.fnext;
+           Hashtbl.replace t.file_heads b.bfile b.fnext
+         end
+     | Some _ | None -> ())
+   else if b.fnext == b then b.fprev.fnext <- b.fprev (* prev becomes tail *)
+   else begin
+     b.fprev.fnext <- b.fnext;
+     b.fnext.fprev <- b.fprev
+   end);
+  b.fprev <- b;
+  b.fnext <- b
+
+let chain_push t b =
+  (match Hashtbl.find_opt t.file_heads b.bfile with
+  | Some h ->
+      b.fnext <- h;
+      h.fprev <- b
+  | None -> b.fnext <- b);
+  b.fprev <- b;
+  Hashtbl.replace t.file_heads b.bfile b
 
 let table_remove t b =
-  match Hashtbl.find_opt t.files b.bfile with
-  | None -> ()
-  | Some per_file ->
-      if Hashtbl.mem per_file b.bindex then begin
-        Hashtbl.remove per_file b.bindex;
-        if Hashtbl.length per_file = 0 then Hashtbl.remove t.files b.bfile;
-        t.count <- t.count - 1;
-        lru_unlink t b
-      end
+  let k = key ~file:b.bfile ~index:b.bindex in
+  if tab_remove t k then begin
+    t.count <- t.count - 1;
+    lru_unlink t b;
+    chain_unlink t b
+  end
 
 let table_insert t b =
-  let per_file =
-    match Hashtbl.find_opt t.files b.bfile with
-    | Some h -> h
-    | None ->
-        let h = Hashtbl.create 16 in
-        Hashtbl.replace t.files b.bfile h;
-        h
-  in
-  Hashtbl.replace per_file b.bindex b;
+  tab_add t (key ~file:b.bfile ~index:b.bindex) b;
+  chain_push t b;
   t.count <- t.count + 1;
   lru_append t b
 
 let blocks_of_file t ~file =
-  match Hashtbl.find_opt t.files file with
+  match Hashtbl.find_opt t.file_heads file with
   | None -> []
-  | Some per_file -> Hashtbl.fold (fun _ b acc -> b :: acc) per_file []
+  | Some h ->
+      let rec walk acc b =
+        let acc = b :: acc in
+        if b.fnext == b then List.rev acc else walk acc b.fnext
+      in
+      walk [] h
 
 (* ---- write-back machinery ---- *)
 
@@ -228,11 +388,12 @@ let evictable b =
 let rec ensure_capacity t =
   if t.count >= t.capacity then begin
     (* scan from LRU end for an evictable block *)
-    let rec scan = function
-      | None -> None
-      | Some b -> if evictable b then Some b else scan b.lru_next
+    let rec scan b =
+      if b == t.lru then None
+      else if evictable b then Some b
+      else scan b.lru_next
     in
-    match scan t.lru_head with
+    match scan t.lru.lru_next with
     | Some b ->
         (match b.w with
         | Dirty _ -> do_writeback t b (* blocks; may race, rechecked below *)
@@ -288,20 +449,6 @@ let peek t ~file ~index =
   match find t ~file ~index with
   | Some b when b.fetching = None -> Some (b.stamp, b.len)
   | Some _ | None -> None
-
-let new_block ~file ~index =
-  {
-    bfile = file;
-    bindex = index;
-    stamp = 0;
-    len = 0;
-    fetching = None;
-    w = Clean;
-    doomed = false;
-    write_waiters = [];
-    lru_prev = None;
-    lru_next = None;
-  }
 
 let read t ~file ~index =
   match find t ~file ~index with
@@ -393,7 +540,7 @@ let flush_file t ~file =
   loop ()
 
 let flush_all t =
-  let files = Hashtbl.fold (fun file _ acc -> file :: acc) t.files [] in
+  let files = Hashtbl.fold (fun file _ acc -> file :: acc) t.file_heads [] in
   List.iter (fun file -> flush_file t ~file) (List.sort compare files)
 
 let flush_block t ~file ~index =
@@ -496,12 +643,11 @@ let start_syncer t ?(min_age = 0.0) ~interval () =
       match b.w with Dirty since -> now -. since >= min_age | Clean | Writing _ -> false
     in
     let victims =
-      Hashtbl.fold
-        (fun _ per_file acc ->
-          Hashtbl.fold (fun _ b acc -> if old_enough b then b :: acc else acc)
-            per_file acc)
-        t.files []
-      |> List.sort (fun a b -> compare (a.bfile, a.bindex) (b.bfile, b.bindex))
+      let acc = ref [] in
+      tab_iter t (fun b -> if old_enough b then acc := b :: !acc);
+      List.sort
+        (fun a b -> compare (a.bfile, a.bindex) (b.bfile, b.bindex))
+        !acc
     in
     flush_batch t victims;
     loop ()

@@ -151,6 +151,10 @@ let get_entry t file =
       (f, reclaimed)
 
 let merge_callbacks cbs =
+  match cbs with
+  | [] -> []
+  | [ _ ] -> cbs
+  | cbs ->
   let tbl = Hashtbl.create 8 in
   let order = ref [] in
   List.iter

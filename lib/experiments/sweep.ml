@@ -1,0 +1,57 @@
+(* Domain-parallel campaign fan-out.
+
+   Each job stays a single-domain, fully deterministic simulation; only
+   the campaign level is parallel. Correctness rests on three
+   properties of the rest of the tree:
+
+   - Obs.Trace / Obs.Metrics slots are Domain.DLS, so a job's
+     [Driver.run ~trace ~metrics] installs sinks visible only to the
+     domain running that job;
+   - the only cross-simulation mutable state, Vfs.Stamp, is an Atomic
+     (and stamps never reach any output);
+   - everything else (engine, caches, protocol state) is created per
+     job inside the job's own closure.
+
+   Results are delivered in input order no matter which domain finished
+   first, so a [jobs:n] sweep is byte-identical to the sequential one
+   (test_sweep asserts exactly this). *)
+
+type 'a outcome = Value of 'a | Raised of exn * Printexc.raw_backtrace
+
+let run_job f x = try Value (f x) with e -> Raised (e, Printexc.get_raw_backtrace ())
+
+let map ~jobs ~f items =
+  if jobs < 1 then invalid_arg "Sweep.map: jobs must be >= 1";
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let deliver = function
+    | Value v -> v
+    | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+  in
+  if jobs = 1 || n <= 1 then
+    (* no Domain.spawn at all: the sequential baseline really is the
+       plain sequential program *)
+    List.map (fun x -> deliver (run_job f x)) items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (run_job f arr.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join helpers;
+    (* exceptions re-raise in input order, after every domain has
+       stopped touching [results] *)
+    Array.to_list results
+    |> List.map (function Some o -> deliver o | None -> assert false)
+  end

@@ -1,0 +1,21 @@
+(** Domain-parallel campaign fan-out.
+
+    [map ~jobs ~f items] applies [f] to every element of [items] and
+    returns the results in input order. With [jobs = 1] (or a single
+    item) it is exactly [List.map f items] on the calling domain; with
+    [jobs > 1] up to [jobs] OCaml domains (the caller's included) pull
+    items from a shared queue.
+
+    Every job must be an independent, self-contained simulation: it
+    creates its own engine, installs its own tracer/metrics registry
+    (both slots are per-domain, see {!Obs.Trace} / {!Obs.Metrics}), and
+    shares no mutable state with other jobs. Under that contract a
+    parallel sweep's results — including rendered reports, metrics
+    exports and trace JSON — are byte-identical to the sequential
+    sweep's.
+
+    If a job raises, the first failure in {e input} order is re-raised
+    (with its original backtrace) after all domains have finished, so
+    failure reporting is deterministic too. *)
+
+val map : jobs:int -> f:('a -> 'b) -> 'a list -> 'b list

@@ -46,7 +46,10 @@ type t = {
   block_size : int;
   meta_policy : meta_policy;
   cache : Blockcache.Cache.t;
-  inodes : (ino, inode) Hashtbl.t;
+  (* Dense array indexed by ino, not a hash table: inos are small
+     consecutive ints from [next_ino], and [get_inode] runs on every
+     fs operation (often several times). [None] marks free slots. *)
+  mutable inodes : inode option array;
   mutable next_ino : ino;
   mutable meta_stamp : int;
 }
@@ -97,7 +100,7 @@ let create engine ~name ~disk ~cache_blocks ?(block_size = 4096)
       block_size;
       meta_policy;
       cache;
-      inodes = Hashtbl.create 256;
+      inodes = Array.make 256 None;
       next_ino = root_ino;
       meta_stamp = 1_000_000_000;
     }
@@ -114,7 +117,7 @@ let create engine ~name ~disk ~cache_blocks ?(block_size = 4096)
       i_entries = Some (Hashtbl.create 16);
     }
   in
-  Hashtbl.replace t.inodes root_ino root;
+  t.inodes.(root_ino) <- Some root;
   t.next_ino <- root_ino + 1;
   t
 
@@ -132,10 +135,24 @@ let next_meta_stamp t =
   t.meta_stamp <- t.meta_stamp + 1;
   t.meta_stamp
 
+let set_inode t ino inode =
+  let cap = Array.length t.inodes in
+  if ino >= cap then begin
+    let bigger = Array.make (max (2 * cap) (ino + 1)) None in
+    Array.blit t.inodes 0 bigger 0 cap;
+    t.inodes <- bigger
+  end;
+  t.inodes.(ino) <- Some inode
+
+let drop_inode t ino =
+  if ino >= 0 && ino < Array.length t.inodes then t.inodes.(ino) <- None
+
 let get_inode t ino =
-  match Hashtbl.find_opt t.inodes ino with
-  | Some i -> i
-  | None -> fail Stale
+  if ino >= 0 && ino < Array.length t.inodes then
+    match Array.unsafe_get t.inodes ino with
+    | Some i -> i
+    | None -> fail Stale
+  else fail Stale
 
 let inode_block_index ino = ino / inodes_per_block
 
@@ -215,7 +232,7 @@ let alloc_inode t ftype =
       i_entries = (match ftype with File -> None | Dir -> Some (Hashtbl.create 16));
     }
   in
-  Hashtbl.replace t.inodes ino inode;
+  set_inode t ino inode;
   inode
 
 let add_entry t dir name ftype =
@@ -256,7 +273,7 @@ let remove t ~dir name =
       inode.i_nlink <- inode.i_nlink - 1;
       if inode.i_nlink = 0 then begin
         free_data t inode;
-        Hashtbl.remove t.inodes ino
+        drop_inode t ino
       end;
       write_inode_block t ino;
       write_inode_block t d.i_ino
@@ -275,7 +292,7 @@ let rmdir t ~dir name =
       d.i_size <- max 0 (d.i_size - dir_entry_bytes name);
       d.i_mtime <- Sim.Engine.now t.engine;
       write_dir_block t d name;
-      Hashtbl.remove t.inodes ino;
+      drop_inode t ino;
       write_inode_block t ino;
       write_inode_block t d.i_ino
 
@@ -297,7 +314,7 @@ let rename t ~fromdir fname ~todir tname =
           ei.i_nlink <- ei.i_nlink - 1;
           if ei.i_nlink = 0 then begin
             free_data t ei;
-            Hashtbl.remove t.inodes existing
+            drop_inode t existing
           end
       | Some _ | None -> ());
       Hashtbl.remove fentries fname;

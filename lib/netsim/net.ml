@@ -155,17 +155,25 @@ let send t ~src ~dst ~bytes ~deliver =
           [ ("dst", Obs.Trace.Str dst.hname);
             ("bytes", Obs.Trace.Int wire_bytes) ]
         ();
-    Sim.Engine.spawn t.engine ~name:"net.msg" (fun () ->
-        (* transmission occupies the shared medium *)
-        Sim.Resource.use t.medium
-          (float_of_int wire_bytes /. t.params.bandwidth);
+    (* Transmission occupies the shared medium. No process per message:
+       the medium is a FIFO reservation (Resource.reserve), and the
+       transmission end + propagation delay are plain scheduled events.
+       A per-message fiber here was the single biggest allocator in an
+       RPC round trip. The jitter draw still happens at transmission
+       end, exactly where the old per-message process drew it, so the
+       random stream is unchanged. *)
+    let finish =
+      Sim.Resource.reserve t.medium
+        (float_of_int wire_bytes /. t.params.bandwidth)
+    in
+    Sim.Engine.at t.engine finish (fun () ->
         let delay =
           t.params.latency
           +. (if t.params.jitter > 0.0 then
                 Sim.Rand.float t.rand *. t.params.jitter
               else 0.0)
         in
-        Sim.Engine.sleep t.engine delay;
+        Sim.Engine.after t.engine delay @@ fun () ->
         if dropped then begin
           t.messages_dropped <- t.messages_dropped + 1;
           if Obs.Metrics.on () then

@@ -23,14 +23,39 @@ type reply = { data : bytes; bulk : int }
 
 type handler = caller:Net.Host.t -> proc:string -> Xdr.Dec.t -> reply
 
-type dup_entry = In_progress | Done of reply
+(* Duplicate-request cache, direct-mapped by xid like the bounded
+   "recent request cache" of real NFS servers. xids come from the
+   transport's single monotonic counter, so a slot collision only
+   evicts an entry [drc_slots] xids older — far outside any
+   retransmission window — and the cache stays a fixed-size array
+   instead of a hash table that grows (and rehashes) with every call
+   ever made. [drc_xid.(i) = -1] marks a free slot; [drc_reply.(i) =
+   None] under a live xid means the call is still executing. *)
+let drc_slots = 4096
+
+(* Everything the request path needs per procedure, resolved once per
+   procedure instead of once per request: the display name (a string
+   concatenation), the operation-count cell (a string-hashed counter
+   lookup) and, once the first reply has come back, the client-side
+   success-latency sink (a tuple-keyed histogram lookup). *)
+type proc_info = {
+  pname : string; (* "prog.proc" *)
+  count : int ref; (* this proc's cell in the service's [counts] *)
+  mutable lat_ok : Stats.Histogram.t option;
+      (* created on first successful reply, exactly where the slow
+         path would have created it, so procedures that only ever time
+         out don't grow a spurious empty success histogram *)
+}
 
 type service = {
   prog : string;
   host : Net.Host.t;
   mutable handler : handler;
   pool : Sim.Semaphore.t;
-  dup_cache : (int * int, dup_entry) Hashtbl.t; (* (caller addr, xid) *)
+  drc_xid : int array;
+  drc_reply : reply option array;
+  mutable drc_used : int; (* occupied slots, for the gauge poll *)
+  procs : (string, proc_info) Hashtbl.t;
   counts : Stats.Counter.t;
   mutable executed : int; (* calls actually run (duplicates suppressed) *)
   mutable duplicates : int; (* retransmissions absorbed by the dup cache *)
@@ -43,6 +68,13 @@ type t = {
   config : config;
   services : (int * string, service) Hashtbl.t; (* (host addr, prog) *)
   latencies : Obs.Latency.t;
+  (* one-slot memo for the per-call service lookup: every client in a
+     testbed talks to the same server address and program, so the
+     tuple-keyed hash lookup hits this slot almost always. [serve]
+     clears it, so a re-registered service is never seen stale. *)
+  mutable memo_addr : int;
+  mutable memo_prog : string;
+  mutable memo_svc : service option;
   mutable next_xid : int;
   mutable retransmissions : int;
   mutable in_flight : int;
@@ -55,6 +87,9 @@ let create net ?(config = default_config) () =
       config;
       services = Hashtbl.create 8;
       latencies = Obs.Latency.create ();
+      memo_addr = -1;
+      memo_prog = "";
+      memo_svc = None;
       next_xid = 1;
       retransmissions = 0;
       in_flight = 0;
@@ -82,7 +117,10 @@ let serve t host ~prog ~threads handler =
           host;
           handler;
           pool = Sim.Semaphore.create (Net.engine t.net) threads;
-          dup_cache = Hashtbl.create 64;
+          drc_xid = Array.make drc_slots (-1);
+          drc_reply = Array.make drc_slots None;
+          drc_used = 0;
+          procs = Hashtbl.create 16;
           counts = Stats.Counter.create ();
           executed = 0;
           duplicates = 0;
@@ -91,10 +129,11 @@ let serve t host ~prog ~threads handler =
         }
       in
       Hashtbl.replace t.services key svc;
+      t.memo_svc <- None;
       Obs.Metrics.register_poll
         ~labels:[ ("host", Net.Host.name host); ("prog", prog) ]
         "rpc_dup_cache_entries"
-        (fun () -> float_of_int (Hashtbl.length svc.dup_cache));
+        (fun () -> float_of_int svc.drc_used);
       svc
 
 let service_host svc = svc.host
@@ -109,54 +148,63 @@ let payload_cpu t bytes = t.config.cpu_per_kbyte *. (float_of_int bytes /. 1024.
 
 let server_now svc = Sim.Engine.now (Net.Host.engine svc.host)
 
+let proc_info svc proc =
+  match Hashtbl.find_opt svc.procs proc with
+  | Some i -> i
+  | None ->
+      let i =
+        {
+          pname = svc.prog ^ "." ^ proc;
+          count = Stats.Counter.cell svc.counts proc;
+          lat_ok = None;
+        }
+      in
+      Hashtbl.replace svc.procs proc i;
+      i
+
+let note_duplicate svc ~trace_name ~pname ~xid =
+  svc.duplicates <- svc.duplicates + 1;
+  if Obs.Metrics.on () then
+    Obs.Metrics.incr
+      ~labels:[ ("host", Net.Host.name svc.host); ("prog", svc.prog) ]
+      "rpc_duplicates_total";
+  if Obs.Trace.on () then
+    Obs.Trace.instant ~ts:(server_now svc) ~cat:"rpc" ~name:trace_name
+      ~track:(Net.Host.name svc.host)
+      ~args:[ ("proc", Obs.Trace.Str pname); ("xid", Obs.Trace.Int xid) ]
+      ()
+
 (* Runs on the server when a request message arrives. [reply_to] sends a
    reply back along the path of this particular request message. *)
-let handle_request t svc ~caller ~xid ~proc ~args ~bulk ~reply_to =
+let handle_request t svc info ~caller ~xid ~proc ~args ~bulk ~reply_to =
   (* volatile server state does not survive a reboot *)
   let epoch = Net.Host.boot_epoch svc.host in
   if epoch <> svc.epoch_seen then begin
     svc.epoch_seen <- epoch;
-    Hashtbl.reset svc.dup_cache;
+    Array.fill svc.drc_xid 0 drc_slots (-1);
+    Array.fill svc.drc_reply 0 drc_slots None;
+    svc.drc_used <- 0;
     match svc.on_restart with None -> () | Some f -> f ()
   end;
-  let key = (Net.Host.addr caller, xid) in
-  match Hashtbl.find_opt svc.dup_cache key with
-  | Some In_progress ->
-      (* retransmission of a call being served: drop *)
-      svc.duplicates <- svc.duplicates + 1;
-      if Obs.Metrics.on () then
-        Obs.Metrics.incr
-          ~labels:[ ("host", Net.Host.name svc.host); ("prog", svc.prog) ]
-          "rpc_duplicates_total";
-      if Obs.Trace.on () then
-        Obs.Trace.instant ~ts:(server_now svc) ~cat:"rpc" ~name:"dup_drop"
-          ~track:(Net.Host.name svc.host)
-          ~args:
-            [ ("proc", Obs.Trace.Str (svc.prog ^ "." ^ proc));
-              ("xid", Obs.Trace.Int xid) ]
-          ()
-  | Some (Done reply) ->
-      (* replay cached reply *)
-      svc.duplicates <- svc.duplicates + 1;
-      if Obs.Metrics.on () then
-        Obs.Metrics.incr
-          ~labels:[ ("host", Net.Host.name svc.host); ("prog", svc.prog) ]
-          "rpc_duplicates_total";
-      if Obs.Trace.on () then
-        Obs.Trace.instant ~ts:(server_now svc) ~cat:"rpc" ~name:"dup_replay"
-          ~track:(Net.Host.name svc.host)
-          ~args:
-            [ ("proc", Obs.Trace.Str (svc.prog ^ "." ^ proc));
-              ("xid", Obs.Trace.Int xid) ]
-          ();
-      reply_to reply
-  | None ->
-      Hashtbl.replace svc.dup_cache key In_progress;
-      Sim.Engine.spawn (Net.Host.engine svc.host) ~name:(svc.prog ^ "." ^ proc)
-        (fun () ->
-          Sim.Semaphore.with_unit svc.pool (fun () ->
-              Stats.Counter.incr svc.counts proc;
-              svc.executed <- svc.executed + 1;
+  let slot = xid land (drc_slots - 1) in
+  if svc.drc_xid.(slot) = xid then
+    match svc.drc_reply.(slot) with
+    | None ->
+        (* retransmission of a call being served: drop *)
+        note_duplicate svc ~trace_name:"dup_drop" ~pname:info.pname ~xid
+    | Some reply ->
+        (* replay cached reply *)
+        note_duplicate svc ~trace_name:"dup_replay" ~pname:info.pname ~xid;
+        reply_to reply
+  else begin
+    if svc.drc_xid.(slot) = -1 then svc.drc_used <- svc.drc_used + 1;
+    svc.drc_xid.(slot) <- xid;
+    svc.drc_reply.(slot) <- None;
+    Sim.Engine.spawn (Net.Host.engine svc.host) ~name:info.pname (fun () ->
+        Sim.Semaphore.with_unit svc.pool (fun () ->
+            let count = info.count in
+            count := !count + 1;
+            svc.executed <- svc.executed + 1;
               (* same site as the legacy Stats.Counter path, so the
                  registry and the counter tables can never disagree *)
               if Obs.Metrics.on () then
@@ -186,8 +234,13 @@ let handle_request t svc ~caller ~xid ~proc ~args ~bulk ~reply_to =
               Net.Host.use_cpu svc.host
                 (payload_cpu t (Bytes.length reply.data + reply.bulk));
               Obs.Trace.finish ~ts:(server_now svc) sp;
-              Hashtbl.replace svc.dup_cache key (Done reply);
+              (* publish only if the slot still belongs to this xid: a
+                 colliding newer request may have evicted it while the
+                 handler ran *)
+              if svc.drc_xid.(slot) = xid then
+                svc.drc_reply.(slot) <- Some reply;
               reply_to reply))
+  end
 
 (* Enough retries that transient packet loss is very unlikely to be
    mistaken for a crashed client, but still finishing (~31 s) before the
@@ -199,6 +252,25 @@ let call t ?config ~src ~dst ~prog ~proc ?(bulk = 0) args =
   let engine = Net.engine t.net in
   let xid = t.next_xid in
   t.next_xid <- xid + 1;
+  (* one tuple-keyed service lookup per call, not one per transmission
+     (a service registered between retransmissions of the same call is
+     not a case the simulation produces) *)
+  let dst_addr = Net.Host.addr dst in
+  let svc =
+    match t.memo_svc with
+    | Some _ when t.memo_addr = dst_addr && String.equal t.memo_prog prog ->
+        t.memo_svc
+    | _ ->
+        let s = Hashtbl.find_opt t.services (dst_addr, prog) in
+        (match s with
+        | Some _ ->
+            t.memo_addr <- dst_addr;
+            t.memo_prog <- prog;
+            t.memo_svc <- s
+        | None -> ());
+        s
+  in
+  let info = match svc with Some s -> Some (proc_info s proc) | None -> None in
   let issued = Sim.Engine.now engine in
   let track = Net.Host.name src in
   let sp =
@@ -229,10 +301,11 @@ let call t ?config ~src ~dst ~prog ~proc ?(bulk = 0) args =
     Net.send t.net ~src ~dst
       ~bytes:(Bytes.length args + bulk)
       ~deliver:(fun () ->
-        match Hashtbl.find_opt t.services (Net.Host.addr dst, prog) with
-        | None -> () (* no such program: silence, client times out *)
-        | Some svc ->
-            handle_request t svc ~caller:src ~xid ~proc ~args ~bulk ~reply_to)
+        match (svc, info) with
+        | Some svc, Some info ->
+            handle_request t svc info ~caller:src ~xid ~proc ~args ~bulk
+              ~reply_to
+        | _ -> () (* no such program: silence, client times out *))
   in
   Net.Host.use_cpu src
     (config.client_cpu_per_call +. payload_cpu t (Bytes.length args + bulk));
@@ -242,7 +315,16 @@ let call t ?config ~src ~dst ~prog ~proc ?(bulk = 0) args =
     | Some reply ->
         Net.Host.use_cpu src (payload_cpu t (Bytes.length reply.data + reply.bulk));
         let now = Sim.Engine.now engine in
-        Obs.Latency.record t.latencies ~prog ~proc (now -. issued);
+        (match info with
+        | Some ({ lat_ok = Some h; _ } : proc_info) ->
+            Stats.Histogram.add h (now -. issued)
+        | Some info ->
+            (* first success for this procedure: resolve the histogram
+               through the slow path (which registers it) and cache it *)
+            let h = Obs.Latency.histogram t.latencies ~prog ~proc in
+            info.lat_ok <- Some h;
+            Stats.Histogram.add h (now -. issued)
+        | None -> Obs.Latency.record t.latencies ~prog ~proc (now -. issued));
         Obs.Trace.finish ~ts:now sp
           ~args:
             (if Obs.Trace.on () then
@@ -290,7 +372,13 @@ let call t ?config ~src ~dst ~prog ~proc ?(bulk = 0) args =
           attempt (n + 1) (timeout *. config.backoff)
         end
   in
+  (* manual unwind, not Fun.protect: the protect frame and its finally
+     closure are measurable on a path taken once per RPC *)
   t.in_flight <- t.in_flight + 1;
-  Fun.protect
-    ~finally:(fun () -> t.in_flight <- t.in_flight - 1)
-    (fun () -> attempt 0 config.timeout)
+  match attempt 0 config.timeout with
+  | data ->
+      t.in_flight <- t.in_flight - 1;
+      data
+  | exception e ->
+      t.in_flight <- t.in_flight - 1;
+      raise e

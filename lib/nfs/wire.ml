@@ -358,4 +358,11 @@ let handle_basic c ~caller ~proc d =
     end
     else assert false
   in
-  if List.mem proc basic_procs then Some (handler ()) else None
+  (* membership test as a literal-string match (a comparison tree),
+     not a [List.mem] scan with polymorphic equality — this runs once
+     per served RPC. The literals mirror [basic_procs]. *)
+  match proc with
+  | "lookup" | "getattr" | "setattr" | "read" | "write" | "create" | "remove"
+  | "mkdir" | "rmdir" | "rename" | "readdir" ->
+      Some (handler ())
+  | _ -> None

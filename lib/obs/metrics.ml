@@ -28,15 +28,46 @@ type t = {
 let create () = { tbl = Hashtbl.create 64; order = []; sampling = None }
 
 (* The installed registry. A single mutable slot, exactly like
-   Trace.current: the disabled case is one load-and-compare per probe
-   site. The slot only selects the sink; all values and sample times
-   come from the simulation itself, so determinism is unaffected. *)
-let current : t option ref = ref None
+   Trace's: the disabled case is one load-and-compare per probe site.
+   The slot only selects the sink; all values and sample times come
+   from the simulation itself, so determinism is unaffected.
 
-let install t = current := Some t
-let uninstall () = current := None
-let on () = !current <> None
-let installed () = !current
+   Like Trace, the slot is domain-local (Domain.DLS), not a
+   process-global ref: each domain of a parallel campaign
+   (Experiments.Sweep) installs its own registry, so concurrent
+   independent runs never share instruments. A process-global ref here
+   would let one domain's install clobber every other domain's probe
+   sites mid-run (demonstrated by test_sweep's seeded-bug test). *)
+let slot : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+(* How many domains currently have a registry installed. [on] is the
+   single hottest probe in the tree (every counter bump and trace site
+   asks it first), and a Domain.DLS.get is an out-of-line call. With
+   this cross-domain count the nothing-installed case — every
+   benchmark hot path — is one atomic load; only domains that might
+   actually observe something pay for the DLS read. *)
+let installed_domains = Atomic.make 0
+
+let install t =
+  (match Domain.DLS.get slot with
+  | None -> Atomic.incr installed_domains
+  | Some _ -> ());
+  Domain.DLS.set slot (Some t)
+
+let uninstall () =
+  match Domain.DLS.get slot with
+  | None -> ()
+  | Some _ ->
+      Atomic.decr installed_domains;
+      Domain.DLS.set slot None
+
+let current () = Domain.DLS.get slot
+
+let on () =
+  Atomic.get installed_domains > 0
+  && match Domain.DLS.get slot with None -> false | Some _ -> true
+
+let installed () = Domain.DLS.get slot
 
 let with_metrics t f =
   install t;
@@ -63,7 +94,7 @@ let clash name i want =
     (Printf.sprintf "Metrics: %s is a %s, not a %s" name (kind_name i) want)
 
 let incr ?(labels = []) ?(n = 1) name =
-  match !current with
+  match current () with
   | None -> ()
   | Some t -> (
       match find_or_add t name labels (fun () -> Counter { c = 0 }) with
@@ -71,7 +102,7 @@ let incr ?(labels = []) ?(n = 1) name =
       | i -> clash name i "counter")
 
 let set ?(labels = []) name v =
-  match !current with
+  match current () with
   | None -> ()
   | Some t -> (
       match find_or_add t name labels (fun () -> Gauge { g = 0.0 }) with
@@ -79,7 +110,7 @@ let set ?(labels = []) name v =
       | i -> clash name i "gauge")
 
 let add ?(labels = []) name v =
-  match !current with
+  match current () with
   | None -> ()
   | Some t -> (
       match find_or_add t name labels (fun () -> Gauge { g = 0.0 }) with
@@ -94,12 +125,12 @@ let hist_of t name labels =
   | i -> clash name i "histogram"
 
 let observe ?(labels = []) name v =
-  match !current with
+  match current () with
   | None -> ()
   | Some t -> Stats.Histogram.add (hist_of t name labels) v
 
 let register_poll ?(labels = []) ?(cumulative = false) name f =
-  match !current with
+  match current () with
   | None -> ()
   | Some t -> (
       match

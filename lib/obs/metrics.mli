@@ -9,12 +9,16 @@
     5-1/5-2 (server utilization and call rates), and the Table 4-1
     consistency actions.
 
-    Like {!Trace}, the registry is a process-global slot: probe sites
-    guard on {!on} and every emitting function is a no-op while no
-    registry is installed, so instrumentation costs one load-and-compare
-    when metrics are off. Polled gauges are registered when a component
-    is created, which therefore must happen while the registry is
-    installed (as {!Experiments.Driver.run} arranges).
+    Like {!Trace}, the registry is an ambient slot: probe sites guard
+    on {!on} and every emitting function is a no-op while no registry
+    is installed, so instrumentation costs one load-and-compare when
+    metrics are off. The slot is {e per-domain} (Domain.DLS), not
+    process-global: each domain of a parallel campaign
+    ({!Experiments.Sweep}) installs and samples its own registry
+    without racing its siblings. Polled gauges are registered when a
+    component is created, which therefore must happen while the
+    registry is installed in the creating domain (as
+    {!Experiments.Driver.run} arranges).
 
     Determinism: all values derive from simulated time and simulated
     events; exports iterate keys in sorted order, so two runs of the

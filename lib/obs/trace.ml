@@ -24,19 +24,46 @@ let create () = { events = []; next_span = 1; count = 0 }
    threaded through every constructor) keeps the disabled case to one
    load-and-compare per probe site, which is what makes tracing free
    when off. Determinism is unaffected: the slot only selects the sink;
-   all timestamps and ids come from the simulation itself. *)
-let current : t option ref = ref None
+   all timestamps and ids come from the simulation itself.
 
-let install t = current := Some t
-let uninstall () = current := None
-let on () = !current <> None
+   The slot is domain-local state (Domain.DLS), not a process-global
+   ref: each domain of a parallel campaign (Experiments.Sweep) installs
+   its own tracer and never observes a sibling's. With a shared ref,
+   the last domain to install would silently receive every domain's
+   events (see test_sweep's seeded-bug demonstration). Within one
+   domain the discipline is unchanged: install around a run, uninstall
+   after. *)
+let slot : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+(* Cross-domain count of installed tracers, mirroring Obs.Metrics:
+   the off case of [on] must be one atomic load, not a DLS call. *)
+let installed_domains = Atomic.make 0
+
+let install t =
+  (match Domain.DLS.get slot with
+  | None -> Atomic.incr installed_domains
+  | Some _ -> ());
+  Domain.DLS.set slot (Some t)
+
+let uninstall () =
+  match Domain.DLS.get slot with
+  | None -> ()
+  | Some _ ->
+      Atomic.decr installed_domains;
+      Domain.DLS.set slot None
+
+let current () = Domain.DLS.get slot
+
+let on () =
+  Atomic.get installed_domains > 0
+  && match Domain.DLS.get slot with None -> false | Some _ -> true
 
 let emit tr ev =
   tr.events <- ev :: tr.events;
   tr.count <- tr.count + 1
 
 let instant ?(track = "sim") ?(args = []) ~ts ~cat ~name () =
-  match !current with
+  match current () with
   | None -> ()
   | Some tr -> emit tr { ts; cat; name; kind = Instant; track; id = 0; args }
 
@@ -47,7 +74,7 @@ type span =
 let none = No_span
 
 let span ?(track = "sim") ?(args = []) ~ts ~cat ~name () =
-  match !current with
+  match current () with
   | None -> No_span
   | Some tr ->
       let id = tr.next_span in

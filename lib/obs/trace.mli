@@ -34,7 +34,11 @@ type t
 
 val create : unit -> t
 
-(** Install [t] as the sink for all probe sites (one global slot). *)
+(** Install [t] as the sink for all probe sites. The slot is
+    {e per-domain} (Domain.DLS): an install only affects the calling
+    domain, so independent simulations on separate domains
+    ({!Experiments.Sweep}) each see their own tracer and never a
+    sibling's. *)
 (* snfs-lint: allow interface-drift — scoped-install lifecycle hook for test harnesses *)
 val install : t -> unit
 

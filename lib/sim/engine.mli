@@ -14,12 +14,27 @@ val create : unit -> t
 (** Current virtual time, in seconds. *)
 val now : t -> float
 
+(** Number of events the dispatch loop has executed since [create].
+    The numerator of the events/sec macro-benchmark (bench/perf.ml);
+    also exported to the metrics registry as the cumulative poll
+    [sim_events_total]. *)
+val events_executed : t -> int
+
 (** [at t time fn] schedules callback [fn] at absolute virtual [time].
     Raises [Invalid_argument] if [time] is in the past. *)
 val at : t -> float -> (unit -> unit) -> unit
 
 (** [after t delay fn] schedules [fn] to run [delay] seconds from now. *)
 val after : t -> float -> (unit -> unit) -> unit
+
+(** [timer t delay fn] is {!after} for watchdogs: same semantics and
+    the same global execution order, but the event is kept on a
+    dedicated timer heap. Use it for long-dated timeouts that are
+    usually obsolete by the time they fire (RPC retransmission
+    timers); keeping them out of the main heap keeps the sift depth
+    of the busy events independent of how many watchdogs are
+    outstanding. Raises [Invalid_argument] on negative delay. *)
+val timer : t -> float -> (unit -> unit) -> unit
 
 (** [spawn t fn] creates a new process executing [fn]. The process
     starts when the engine next reaches the head of its event queue (it

@@ -1,65 +1,147 @@
-type entry = { time : float; seq : int; fn : unit -> unit }
+(* Flat parallel arrays rather than an array of entry records: a
+   record-per-event heap allocates on every push (and, with a float
+   field in a mixed record, boxes the timestamp too), which at ~50k
+   events per Andrew run made the dispatch loop a steady source of
+   minor-GC pressure — felt twice over in parallel campaigns, where
+   every domain's minor collection stops all domains. With [times] a
+   bare float array and the sifts moving a hole instead of swapping,
+   push and pop_fn allocate nothing (test_alloc pins this at exactly
+   zero minor words).
 
-type t = { mutable arr : entry array; mutable len : int }
+   The sift loops use unsafe array accesses: every index is in
+   [0, len) and [len <= Array.length times] is the growth invariant,
+   so the bounds checks only cost. *)
 
-let dummy = { time = 0.0; seq = 0; fn = (fun () -> ()) }
+type t = {
+  mutable times : float array; (* unboxed float storage *)
+  mutable seqs : int array;
+  mutable fns : (unit -> unit) array;
+  mutable len : int;
+}
 
-let create () = { arr = Array.make 64 dummy; len = 0 }
+let nop () = ()
+
+let create () =
+  {
+    times = Array.make 64 0.0;
+    seqs = Array.make 64 0;
+    fns = Array.make 64 nop;
+    len = 0;
+  }
 
 let is_empty t = t.len = 0
-
 let length t = t.len
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
 let grow t =
-  let arr = Array.make (2 * Array.length t.arr) dummy in
-  Array.blit t.arr 0 arr 0 t.len;
-  t.arr <- arr
+  let cap = 2 * Array.length t.times in
+  let times = Array.make cap 0.0 in
+  let seqs = Array.make cap 0 in
+  let fns = Array.make cap nop in
+  Array.blit t.times 0 times 0 t.len;
+  Array.blit t.seqs 0 seqs 0 t.len;
+  Array.blit t.fns 0 fns 0 t.len;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.fns <- fns
 
 let push t ~time ~seq fn =
-  if t.len = Array.length t.arr then grow t;
-  let e = { time; seq; fn } in
-  (* sift up *)
+  if t.len = Array.length t.times then grow t;
+  let times = t.times and seqs = t.seqs and fns = t.fns in
+  (* sift the hole up, then place the new event once *)
   let i = ref t.len in
   t.len <- t.len + 1;
-  t.arr.(!i) <- e;
   let continue_sift = ref true in
   while !continue_sift && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if before e t.arr.(parent) then begin
-      t.arr.(!i) <- t.arr.(parent);
-      t.arr.(parent) <- e;
+    let pt = Array.unsafe_get times parent in
+    if time < pt || (time = pt && seq < Array.unsafe_get seqs parent) then begin
+      Array.unsafe_set times !i pt;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs parent);
+      Array.unsafe_set fns !i (Array.unsafe_get fns parent);
       i := parent
     end
     else continue_sift := false
-  done
+  done;
+  Array.unsafe_set times !i time;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set fns !i fn
 
-let pop t =
+let min_time t =
   if t.len = 0 then raise Not_found;
-  let top = t.arr.(0) in
-  t.len <- t.len - 1;
-  let last = t.arr.(t.len) in
-  t.arr.(t.len) <- dummy;
-  if t.len > 0 then begin
-    t.arr.(0) <- last;
-    (* sift down *)
+  t.times.(0)
+
+let min_seq t =
+  if t.len = 0 then raise Not_found;
+  t.seqs.(0)
+
+(* both queues assumed non-empty; the (time, seq) key comparison stays
+   inside the module so no float crosses the boundary *)
+let precedes a b =
+  let ta = a.times.(0) and tb = b.times.(0) in
+  ta < tb || (ta = tb && a.seqs.(0) < b.seqs.(0))
+
+let pop_fn t =
+  if t.len = 0 then raise Not_found;
+  let times = t.times and seqs = t.seqs and fns = t.fns in
+  let top = Array.unsafe_get fns 0 in
+  let n = t.len - 1 in
+  t.len <- n;
+  (* the displaced last event, sifted down as a hole *)
+  let lt = Array.unsafe_get times n
+  and ls = Array.unsafe_get seqs n
+  and lf = Array.unsafe_get fns n in
+  Array.unsafe_set fns n nop;
+  if n > 0 then begin
     let i = ref 0 in
     let continue_sift = ref true in
     while !continue_sift do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let smallest = ref !i in
-      if l < t.len && before t.arr.(l) t.arr.(!smallest) then smallest := l;
-      if r < t.len && before t.arr.(r) t.arr.(!smallest) then smallest := r;
-      if !smallest <> !i then begin
-        let tmp = t.arr.(!i) in
-        t.arr.(!i) <- t.arr.(!smallest);
-        t.arr.(!smallest) <- tmp;
-        i := !smallest
+      let l = (2 * !i) + 1 in
+      if l >= n then continue_sift := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < n
+            && (Array.unsafe_get times r < Array.unsafe_get times l
+               || (Array.unsafe_get times r = Array.unsafe_get times l
+                  && Array.unsafe_get seqs r < Array.unsafe_get seqs l))
+          then r
+          else l
+        in
+        let ct = Array.unsafe_get times c in
+        if ct < lt || (ct = lt && Array.unsafe_get seqs c < ls) then begin
+          Array.unsafe_set times !i ct;
+          Array.unsafe_set seqs !i (Array.unsafe_get seqs c);
+          Array.unsafe_set fns !i (Array.unsafe_get fns c);
+          i := c
+        end
+        else continue_sift := false
       end
-      else continue_sift := false
-    done
+    done;
+    Array.unsafe_set times !i lt;
+    Array.unsafe_set seqs !i ls;
+    Array.unsafe_set fns !i lf
   end;
-  (top.time, top.seq, top.fn)
+  top
 
-let peek_time t = if t.len = 0 then None else Some t.arr.(0).time
+let pop t =
+  if t.len = 0 then raise Not_found;
+  let time = t.times.(0) and seq = t.seqs.(0) in
+  let fn = pop_fn t in
+  (time, seq, fn)
+
+(* One call per dispatched event: bounds check, clock store and pop in
+   a single crossing of the module boundary. The timestamp goes into
+   [cell.(0)] (the engine's clock cell — a float array store, so it is
+   never boxed), and the not-ready cases return the [nop] sentinel
+   instead of an option. *)
+let pop_until t limit cell =
+  if t.len = 0 then nop
+  else begin
+    let time = t.times.(0) in
+    if time > limit then nop
+    else begin
+      cell.(0) <- time;
+      pop_fn t
+    end
+  end

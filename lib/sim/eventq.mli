@@ -13,6 +13,41 @@ val push : t -> time:float -> seq:int -> (unit -> unit) -> unit
 (** Earliest event, by (time, seq). Raises [Not_found] if empty. *)
 val pop : t -> float * int * (unit -> unit)
 
-val peek_time : t -> float option
+(** Time of the earliest event. Raises [Not_found] if empty. Does not
+    allocate an option; the caller pays one float box at most. *)
+val min_time : t -> float
+
+(** Sequence number of the earliest event. Raises [Not_found] if
+    empty. With {!min_time} this exposes the full ordering key, so two
+    queues sharing one sequence counter can be merged by comparing
+    tops (the engine's main/timer split relies on this). *)
+val min_seq : t -> int
+
+(** [precedes a b] is true when [a]'s earliest event orders before
+    [b]'s, by the full (time, seq) key. Both queues must be
+    non-empty. The comparison lives here so the dispatch loop never
+    moves a raw timestamp across the module boundary (a float return
+    is fine, but two per event plus the seq reads added up). *)
+val precedes : t -> t -> bool
+
+(** The do-nothing closure used to fill freed queue slots, and the
+    sentinel {!pop_until} returns when it has nothing to dispatch.
+    Compare with [==]. *)
+val nop : unit -> unit
+
+(** [pop_until t limit cell] pops the earliest event if its time is
+    [<= limit], stores that time in [cell.(0)] (unboxed — meant for
+    the engine's clock cell) and returns its closure. Returns {!nop},
+    without popping, if the queue is empty or the top is later than
+    [limit]. The engine never enqueues {!nop} itself, so a [==] test
+    against it is unambiguous. *)
+val pop_until : t -> float -> float array -> unit -> unit
+
+(** Remove and return the earliest event's closure (by (time, seq)).
+    Raises [Not_found] if empty. The zero-allocation half of the
+    engine's dispatch pair: read {!min_time} first if the timestamp is
+    needed. *)
+val pop_fn : t -> unit -> unit
+
 val is_empty : t -> bool
 val length : t -> int

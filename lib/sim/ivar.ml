@@ -39,4 +39,4 @@ let read_timeout t timeout =
             end
           in
           t.waiters <- (fun v -> once (Some v)) :: t.waiters;
-          Engine.after t.engine timeout (fun () -> once None))
+          Engine.timer t.engine timeout (fun () -> once None))

@@ -4,8 +4,11 @@ type t = {
   capacity : int;
   mutable held : int;
   waiters : (unit -> unit) Queue.t;
-  mutable busy_accum : float;
-  mutable busy_since : float; (* meaningful when held > 0 *)
+  (* float array cells, not mutable float fields: in a mixed record
+     every store to a mutable float field boxes, and these are written
+     on every acquire/release/reserve on the hot RPC and disk paths *)
+  busy : float array; (* [0] accumulated; [1] busy-since (held > 0) *)
+  reserved : float array; (* [0] reserved-until (reserve-mode, cap 1) *)
 }
 
 let create engine ?(capacity = 1) name =
@@ -17,8 +20,8 @@ let create engine ?(capacity = 1) name =
       capacity;
       held = 0;
       waiters = Queue.create ();
-      busy_accum = 0.0;
-      busy_since = 0.0;
+      busy = [| 0.0; 0.0 |];
+      reserved = [| 0.0 |];
     }
   in
   (* busy time is monotone, so its sampled series holds per-bin deltas
@@ -26,8 +29,8 @@ let create engine ?(capacity = 1) name =
   Obs.Metrics.register_poll
     ~labels:[ ("resource", name) ]
     ~cumulative:true "sim_resource_busy_seconds" (fun () ->
-      if t.held > 0 then t.busy_accum +. (Engine.now t.engine -. t.busy_since)
-      else t.busy_accum);
+      if t.held > 0 then t.busy.(0) +. (Engine.now t.engine -. t.busy.(1))
+      else t.busy.(0));
   Obs.Metrics.register_poll
     ~labels:[ ("resource", name) ]
     "sim_resource_queue_depth"
@@ -40,13 +43,12 @@ let in_use t = t.held
 let queue_length t = Queue.length t.waiters
 
 let note_acquired t =
-  if t.held = 0 then t.busy_since <- Engine.now t.engine;
+  if t.held = 0 then t.busy.(1) <- Engine.now t.engine;
   t.held <- t.held + 1
 
 let note_released t =
   t.held <- t.held - 1;
-  if t.held = 0 then
-    t.busy_accum <- t.busy_accum +. (Engine.now t.engine -. t.busy_since)
+  if t.held = 0 then t.busy.(0) <- t.busy.(0) +. (Engine.now t.engine -. t.busy.(1))
 
 let acquire t =
   if t.held < t.capacity then note_acquired t
@@ -69,6 +71,20 @@ let use t dur =
       release t;
       raise e
 
+let reserve t dur =
+  if t.capacity <> 1 then
+    invalid_arg "Resource.reserve: only capacity-1 resources";
+  if dur < 0.0 then invalid_arg "Resource.reserve: negative duration";
+  let now = Engine.now t.engine in
+  let start = if t.reserved.(0) > now then t.reserved.(0) else now in
+  t.reserved.(0) <- start +. dur;
+  (* busy time is committed at reservation; reservations are issued in
+     simulation order and back-to-back under load, so for the sub-ms
+     holds this is used for, the sampled utilization series is
+     indistinguishable from held/released accounting *)
+  t.busy.(0) <- t.busy.(0) +. dur;
+  start +. dur
+
 let busy_time t =
-  if t.held > 0 then t.busy_accum +. (Engine.now t.engine -. t.busy_since)
-  else t.busy_accum
+  if t.held > 0 then t.busy.(0) +. (Engine.now t.engine -. t.busy.(1))
+  else t.busy.(0)

@@ -12,7 +12,11 @@ type t = {
   callback_tokens : Sim.Semaphore.t; (* at most threads-1 concurrent *)
   mutable callbacks_sent : int;
   mutable callbacks_failed : int;
-  last_heard : (int, float) Hashtbl.t; (* client addr -> last RPC time *)
+  (* client addr -> last RPC time. The cell is a [float ref] rather
+     than a float value so the per-request refresh is a store into the
+     existing (flat, unboxed) cell instead of a boxed-float
+     [Hashtbl.replace]. *)
+  last_heard : (int, float ref) Hashtbl.t;
   (* per-file consistency critical section: the table must not be
      consulted by a second open while a first open's callbacks are
      still in flight, or the second open trusts a cachability the
@@ -265,7 +269,11 @@ let serve rpc host ?(threads = 8) ?(max_table_entries = 1000)
        let handler ~caller ~proc dec =
          let tt = Lazy.force t in
          let caller_addr = Netsim.Net.Host.addr caller in
-         Hashtbl.replace tt.last_heard caller_addr (Sim.Engine.now engine);
+         (match Hashtbl.find_opt tt.last_heard caller_addr with
+         | Some cell -> cell := Sim.Engine.now engine
+         | None ->
+             Hashtbl.replace tt.last_heard caller_addr
+               (ref (Sim.Engine.now engine)));
          if proc = Nfs.Wire.p_open then handle_open tt ~caller:caller_addr dec
          else if proc = Nfs.Wire.p_close then
            handle_close tt ~caller:caller_addr dec
@@ -340,7 +348,11 @@ let start_client_reaper ?(idle = 120.0) t ~interval =
         ~prog:(client_prog_for (Nfs.Wire.core_fsid t.core))
         ~proc:Nfs.Wire.p_ping (Xdr.Enc.to_bytes e)
     with
-    | _reply -> Hashtbl.replace t.last_heard client (Sim.Engine.now engine)
+    | _reply -> (
+        match Hashtbl.find_opt t.last_heard client with
+        | Some cell -> cell := Sim.Engine.now engine
+        | None ->
+            Hashtbl.replace t.last_heard client (ref (Sim.Engine.now engine)))
     | exception Netsim.Rpc.Timeout _ ->
         (* dead: drop its opens; any dirty data it held is lost and the
            affected files are flagged inconsistent *)
@@ -355,7 +367,7 @@ let start_client_reaper ?(idle = 120.0) t ~interval =
     let now = Sim.Engine.now engine in
     let silent_too_long client =
       match Hashtbl.find_opt t.last_heard client with
-      | Some heard -> now -. heard >= idle
+      | Some heard -> now -. !heard >= idle
       | None -> true
     in
     List.iter

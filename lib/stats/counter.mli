@@ -9,6 +9,13 @@ val create : unit -> t
     needed. *)
 val incr : t -> ?n:int -> string -> unit
 
+(** The named counter's storage cell, created at zero if needed.
+    Callers on hot paths look the cell up once and bump it directly;
+    the cell stays live across {!reset} (which detaches it) only until
+    the next {!cell} call for that name, so don't cache across
+    resets. *)
+val cell : t -> string -> int ref
+
 val get : t -> string -> int
 
 (** Sum over all counters. *)

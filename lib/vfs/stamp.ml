@@ -1,5 +1,7 @@
-let counter = ref 0
+(* Atomic, not a plain ref: parallel campaigns (Experiments.Sweep) run
+   independent simulations on separate domains, and stamps must stay
+   unique process-wide. Stamps never appear in reports or traces, so
+   the cross-domain interleaving does not affect output determinism. *)
+let counter = Atomic.make 0
 
-let fresh () =
-  incr counter;
-  !counter
+let fresh () = Atomic.fetch_and_add counter 1 + 1

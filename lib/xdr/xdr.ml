@@ -5,93 +5,181 @@ let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 let padding len = (4 - (len land 3)) land 3
 
 module Enc = struct
-  type t = Buffer.t
+  (* A grow-only byte buffer, recycled through a per-domain pool:
+     every RPC message in the simulation is marshalled through here, so
+     a Buffer.create per message was a steady ~40 words of minor-GC
+     pressure each — the pool brings steady-state encoding down to the
+     one [to_bytes] copy that becomes the wire payload. [live] makes
+     recycling safe: [to_bytes]/[to_string] finish the encoder and
+     return it to the pool, after which any further use (rather than
+     silently corrupting a later message sharing the storage) raises. *)
+  type t = { mutable buf : bytes; mutable len : int; mutable live : bool }
 
-  let create () = Buffer.create 256
+  let dummy = { buf = Bytes.empty; len = 0; live = false }
 
-  let length t = Buffer.length t
+  type pool = { mutable items : t array; mutable n : int }
 
-  let to_bytes t = Buffer.to_bytes t
-  let to_string t = Buffer.contents t
+  let pool : pool Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> { items = Array.make 32 dummy; n = 0 })
 
-  let uint32 t v =
+  let create () =
+    let p = Domain.DLS.get pool in
+    if p.n = 0 then { buf = Bytes.create 256; len = 0; live = true }
+    else begin
+      p.n <- p.n - 1;
+      let e = p.items.(p.n) in
+      p.items.(p.n) <- dummy;
+      e.len <- 0;
+      e.live <- true;
+      e
+    end
+
+  let release e =
+    e.live <- false;
+    let p = Domain.DLS.get pool in
+    if p.n < Array.length p.items then begin
+      p.items.(p.n) <- e;
+      p.n <- p.n + 1
+    end
+
+  let check e = if not e.live then error "Enc: encoder already finished"
+
+  let reset e =
+    check e;
+    e.len <- 0
+
+  let length e =
+    check e;
+    e.len
+
+  let ensure e n =
+    let cap = Bytes.length e.buf in
+    if e.len + n > cap then begin
+      let ncap = ref (if cap = 0 then 256 else 2 * cap) in
+      while e.len + n > !ncap do
+        ncap := 2 * !ncap
+      done;
+      let nb = Bytes.create !ncap in
+      Bytes.blit e.buf 0 nb 0 e.len;
+      e.buf <- nb
+    end
+
+  let to_bytes e =
+    check e;
+    let b = Bytes.sub e.buf 0 e.len in
+    release e;
+    b
+
+  let to_string e =
+    check e;
+    let s = Bytes.sub_string e.buf 0 e.len in
+    release e;
+    s
+
+  let unsafe_bytes e =
+    check e;
+    e.buf
+
+  let uint32 e v =
     if v < 0 || v > 0xFFFFFFFF then error "Enc.uint32: %d out of range" v;
-    Buffer.add_char t (Char.chr ((v lsr 24) land 0xFF));
-    Buffer.add_char t (Char.chr ((v lsr 16) land 0xFF));
-    Buffer.add_char t (Char.chr ((v lsr 8) land 0xFF));
-    Buffer.add_char t (Char.chr (v land 0xFF))
+    check e;
+    ensure e 4;
+    let i = e.len in
+    Bytes.unsafe_set e.buf i (Char.unsafe_chr ((v lsr 24) land 0xFF));
+    Bytes.unsafe_set e.buf (i + 1) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+    Bytes.unsafe_set e.buf (i + 2) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+    Bytes.unsafe_set e.buf (i + 3) (Char.unsafe_chr (v land 0xFF));
+    e.len <- i + 4
 
-  let int32 t v =
+  let int32 e v =
     if v < -0x80000000 || v > 0x7FFFFFFF then
       error "Enc.int32: %d out of range" v;
-    uint32 t (v land 0xFFFFFFFF)
+    uint32 e (v land 0xFFFFFFFF)
 
-  let hyper t v =
-    uint32 t (Int64.to_int (Int64.shift_right_logical v 32));
-    uint32 t (Int64.to_int (Int64.logand v 0xFFFFFFFFL))
+  let hyper e v =
+    uint32 e (Int64.to_int (Int64.shift_right_logical v 32));
+    uint32 e (Int64.to_int (Int64.logand v 0xFFFFFFFFL))
 
-  let bool t b = uint32 t (if b then 1 else 0)
+  let bool e b = uint32 e (if b then 1 else 0)
+  let enum e v = int32 e v
+  let float64 e f = hyper e (Int64.bits_of_float f)
 
-  let enum t v = int32 t v
+  let pad e len =
+    let p = padding len in
+    if p > 0 then begin
+      ensure e p;
+      for k = 0 to p - 1 do
+        Bytes.unsafe_set e.buf (e.len + k) '\000'
+      done;
+      e.len <- e.len + p
+    end
 
-  let float64 t f = hyper t (Int64.bits_of_float f)
+  let opaque_fixed e b =
+    check e;
+    let n = Bytes.length b in
+    ensure e n;
+    Bytes.blit b 0 e.buf e.len n;
+    e.len <- e.len + n;
+    pad e n
 
-  let pad t len =
-    for _ = 1 to padding len do
-      Buffer.add_char t '\000'
-    done
+  let opaque e b =
+    uint32 e (Bytes.length b);
+    opaque_fixed e b
 
-  let opaque_fixed t b =
-    Buffer.add_bytes t b;
-    pad t (Bytes.length b)
+  let string e s =
+    let n = String.length s in
+    uint32 e n;
+    ensure e n;
+    Bytes.blit_string s 0 e.buf e.len n;
+    e.len <- e.len + n;
+    pad e n
 
-  let opaque t b =
-    uint32 t (Bytes.length b);
-    opaque_fixed t b
-
-  let string t s =
-    uint32 t (String.length s);
-    Buffer.add_string t s;
-    pad t (String.length s)
-
-  let array t f items =
-    uint32 t (List.length items);
+  let array e f items =
+    uint32 e (List.length items);
     List.iter f items
 
-  let option t f = function
-    | None -> bool t false
+  let option e f = function
+    | None -> bool e false
     | Some v ->
-        bool t true;
+        bool e true;
         f v
 end
 
 module Dec = struct
-  type t = { buf : bytes; mutable pos : int }
+  (* [limit], not [Bytes.length buf]: a decoder can be pointed
+     ([reuse]) at the live prefix of an encoder's internal buffer, so
+     an encode/decode round trip over pre-sized buffers allocates
+     nothing but the decoded values. *)
+  type t = { mutable buf : bytes; mutable pos : int; mutable limit : int }
 
-  let of_bytes buf = { buf; pos = 0 }
+  let of_bytes buf = { buf; pos = 0; limit = Bytes.length buf }
   let of_string s = of_bytes (Bytes.of_string s)
-  let clone t = { buf = t.buf; pos = t.pos }
 
-  let remaining t = Bytes.length t.buf - t.pos
+  let reuse t buf ~len =
+    if len < 0 || len > Bytes.length buf then
+      error "Dec.reuse: bad length %d" len;
+    t.buf <- buf;
+    t.pos <- 0;
+    t.limit <- len
+
+  let clone t = { buf = t.buf; pos = t.pos; limit = t.limit }
+
+  let remaining t = t.limit - t.pos
 
   let check_done t =
     if remaining t <> 0 then error "Dec: %d trailing bytes" (remaining t)
 
   let need t n =
-    if remaining t < n then
-      error "Dec: need %d bytes, have %d" n (remaining t)
-
-  let byte t =
-    let c = Char.code (Bytes.get t.buf t.pos) in
-    t.pos <- t.pos + 1;
-    c
+    if remaining t < n then error "Dec: need %d bytes, have %d" n (remaining t)
 
   let uint32 t =
     need t 4;
-    let a = byte t in
-    let b = byte t in
-    let c = byte t in
-    let d = byte t in
+    let buf = t.buf and i = t.pos in
+    let a = Char.code (Bytes.unsafe_get buf i) in
+    let b = Char.code (Bytes.unsafe_get buf (i + 1)) in
+    let c = Char.code (Bytes.unsafe_get buf (i + 2)) in
+    let d = Char.code (Bytes.unsafe_get buf (i + 3)) in
+    t.pos <- i + 4;
     (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
 
   let int32 t =
@@ -101,9 +189,7 @@ module Dec = struct
   let hyper t =
     let hi = uint32 t in
     let lo = uint32 t in
-    Int64.logor
-      (Int64.shift_left (Int64.of_int hi) 32)
-      (Int64.of_int lo)
+    Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo)
 
   let bool t =
     match uint32 t with
@@ -132,7 +218,9 @@ module Dec = struct
     let n = uint32 t in
     if n > 0x1000000 then error "Dec.array: implausible length %d" n;
     (* explicit loop: elements must be decoded left to right *)
-    let rec loop i acc = if i = n then List.rev acc else loop (i + 1) (f t :: acc) in
+    let rec loop i acc =
+      if i = n then List.rev acc else loop (i + 1) (f t :: acc)
+    in
     loop 0 []
 
   let option t f = if bool t then Some (f t) else None

@@ -11,15 +11,37 @@
 exception Error of string
 
 module Enc : sig
+  (** An encoder is a grow-only byte buffer. Encoders are recycled
+      through a per-domain pool: {!create} may return previously-used
+      storage, and {!to_bytes}/{!to_string} {e finish} the encoder —
+      they return the encoded copy and give the encoder back to the
+      pool. Using a finished encoder raises {!Error}. The pool is
+      domain-local, so parallel campaigns ({!Experiments.Sweep}) never
+      share encoder storage across domains. *)
   type t
 
   val create : unit -> t
 
+  (** Drop everything encoded so far, keeping the storage. For callers
+      that hold one encoder and reuse it per message instead of going
+      through the pool; with {!unsafe_bytes} and {!Dec.reuse} such a
+      round trip allocates nothing. *)
+  val reset : t -> unit
+
   (** Encoded length so far, in bytes. *)
   val length : t -> int
 
+  (** Return a copy of the encoded bytes and finish the encoder (see
+      above: it goes back to the pool and must not be used again). *)
   val to_bytes : t -> bytes
+
   val to_string : t -> string
+
+  (** The encoder's internal buffer, without copying: only the first
+      {!length} bytes are meaningful, and the view is invalidated by
+      any further encoding, [to_bytes] or [reset]. Pair with
+      {!Dec.reuse} for allocation-free decoding. *)
+  val unsafe_bytes : t -> bytes
 
   (** Signed 32-bit integer. Raises {!Error} if out of range. *)
   val int32 : t -> int -> unit
@@ -55,6 +77,12 @@ module Dec : sig
 
   val of_bytes : bytes -> t
   val of_string : string -> t
+
+  (** Repoint an existing decoder at the first [len] bytes of [buf]
+      (cursor back to 0). Lets one long-lived decoder walk many
+      messages — or an encoder's {!Enc.unsafe_bytes} — without
+      allocating a cursor each time. *)
+  val reuse : t -> bytes -> len:int -> unit
 
   (** Independent cursor over the same bytes, starting at this
       decoder's current position (peek without consuming). *)
