@@ -1,26 +1,52 @@
 (* snfs_lint — AST-based static analysis over the source tree.
 
    Usage: snfs_lint [ROOT] [--json FILE] [--baseline FILE]
-                    [--write-baseline FILE]
+                    [--write-baseline FILE] [--rules a,b,...]
+                    [--skip-rules a,b,...]
 
-   Runs every Analysis.Driver pass over ROOT (default ".")'s
+   Runs the Analysis.Driver passes over ROOT (default ".")'s
    lib/bin/test/bench/examples trees, prints GNU-style
    [path:line:col: error: [rule] message] findings, optionally writes
    the full deterministic JSON report, and exits non-zero if any
    finding is not absorbed by the baseline file (default
    ROOT/lint-baseline when present). --write-baseline records the
    current findings as the accepted baseline (bootstrap; the goal is
-   an empty one). *)
+   an empty one). --rules restricts the run to the named passes;
+   --skip-rules runs everything but the named ones (parse errors are
+   always reported). *)
+
+let help () =
+  print_endline
+    "usage: snfs_lint [ROOT] [options]\n\n\
+     Run the AST static-analysis passes over ROOT (default \".\") and\n\
+     exit 1 if any finding is not absorbed by the baseline.\n\n\
+     options:\n\
+    \  --json FILE            write the deterministic JSON report to FILE\n\
+    \  --baseline FILE        absorb findings listed in FILE\n\
+    \                         (default: ROOT/lint-baseline when present)\n\
+    \  --write-baseline FILE  record the current findings as the baseline\n\
+    \  --rules a,b,...        run only the named passes\n\
+    \  --skip-rules a,b,...   run every pass except the named ones\n\
+    \  --help                 show this message\n\n\
+     passes:";
+  List.iter
+    (fun p ->
+      Printf.printf "  %-16s %s\n" p.Analysis.Pass.name p.Analysis.Pass.doc)
+    Analysis.Driver.passes;
+  exit 0
 
 let usage () =
   prerr_endline
     "usage: snfs_lint [ROOT] [--json FILE] [--baseline FILE] \
-     [--write-baseline FILE]";
+     [--write-baseline FILE] [--rules a,b,...] [--skip-rules a,b,...]";
   exit 2
+
+let split_rules s = String.split_on_char ',' s |> List.filter (( <> ) "")
 
 let () =
   let root = ref "." and json = ref None and baseline_file = ref None in
   let write_baseline = ref None in
+  let only = ref None and skip = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: file :: rest ->
@@ -32,7 +58,16 @@ let () =
     | "--write-baseline" :: file :: rest ->
         write_baseline := Some file;
         parse rest
-    | ("--json" | "--baseline" | "--write-baseline") :: [] | "--help" :: _ ->
+    | "--rules" :: names :: rest ->
+        only := Some (split_rules names);
+        parse rest
+    | "--skip-rules" :: names :: rest ->
+        skip := Some (split_rules names);
+        parse rest
+    | "--help" :: _ -> help ()
+    | ("--json" | "--baseline" | "--write-baseline" | "--rules"
+      | "--skip-rules")
+      :: [] ->
         usage ()
     | arg :: rest ->
         root := arg;
@@ -50,7 +85,14 @@ let () =
         else Analysis.Baseline.empty
   in
   let inputs = Analysis.Driver.load_tree !root in
-  let r = Analysis.Driver.analyze ~baseline inputs in
+  let r =
+    try Analysis.Driver.analyze ~baseline ?only:!only ?skip:!skip inputs
+    with Analysis.Driver.Unknown_rule rule ->
+      Printf.eprintf
+        "snfs_lint: unknown rule '%s' (run snfs_lint --help for the list)\n"
+        rule;
+      exit 2
+  in
   Option.iter
     (fun file ->
       Out_channel.with_open_bin file (fun oc ->

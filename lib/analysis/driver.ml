@@ -11,12 +11,34 @@ let passes =
     Pass_determinism.pass;
     Pass_hashtbl_order.pass;
     Pass_yield_race.pass;
+    Pass_domain_safety.pass;
+    Pass_hot_alloc.pass;
     Pass_purity.pass;
     Pass_interface_drift.pass;
     Pass_missing_mli.pass;
   ]
 
-let analyze ?(baseline = Baseline.empty) inputs =
+exception Unknown_rule of string
+
+let select_passes ?only ?skip () =
+  let known n = List.exists (fun p -> p.Pass.name = n) passes in
+  let check names =
+    List.iter (fun n -> if not (known n) then raise (Unknown_rule n)) names
+  in
+  Option.iter check only;
+  Option.iter check skip;
+  List.filter
+    (fun p ->
+      (match only with
+      | Some names -> List.mem p.Pass.name names
+      | None -> true)
+      && match skip with
+         | Some names -> not (List.mem p.Pass.name names)
+         | None -> true)
+    passes
+
+let analyze ?(baseline = Baseline.empty) ?only ?skip inputs =
+  let passes = select_passes ?only ?skip () in
   let files = List.map (fun i -> Source.parse ~path:i.path i.src) inputs in
   let structures = List.filter_map (fun f -> f.Source.impl) files in
   let signatures = List.filter_map (fun f -> f.Source.intf) files in

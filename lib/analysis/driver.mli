@@ -14,10 +14,22 @@ type result = {
 val passes : Pass.t list
 (** the registered passes, in execution order *)
 
-val analyze : ?baseline:Baseline.t -> input list -> result
-(** Run all passes over the inputs. Unparseable files yield a single
-    [parse-error] finding each. A finding is dropped when its flagged
-    line (or the line above) carries [snfs-lint: allow <rule>]. *)
+exception Unknown_rule of string
+(** raised by [analyze] when [only]/[skip] names no registered pass *)
+
+val analyze :
+  ?baseline:Baseline.t ->
+  ?only:string list ->
+  ?skip:string list ->
+  input list ->
+  result
+(** Run the selected passes over the inputs: all of them by default,
+    the named subset with [only], everything but the named set with
+    [skip] ([only] wins when both are given; an unregistered name
+    raises {!Unknown_rule}). Unparseable files yield a single
+    [parse-error] finding each, regardless of the selection. A finding
+    is dropped when its flagged line (or the line above) carries
+    [snfs-lint: allow <rule>]. *)
 
 val load_tree : string -> input list
 (** Read every [.ml]/[.mli] under [root]/{lib,bin,test,bench,examples},

@@ -158,7 +158,9 @@ let taint_source mutable_fields e =
 
 let check_file (file : Source.t) mutable_fields =
   match file.Source.impl with
-  | Some structure when Source.under "lib" file.Source.path ->
+  | Some structure
+    when Source.under "lib" file.Source.path
+         || Source.under "bench" file.Source.path ->
       let local = local_blocking structure in
       let findings = ref [] in
       let report en loc =
@@ -216,7 +218,14 @@ let check_file (file : Source.t) mutable_fields =
             in
             walk env' body
         | Pexp_setfield (obj, { txt; _ }, rhs) ->
-            walk env obj;
+            (* bump-cell exemption: a binding used as a *store* target
+               after a yield is not a stale read — the cell is a
+               persistent identity object being updated in place (the
+               last_heard float-ref / per-caller cell idiom). Only
+               non-trivial receiver expressions are walked. *)
+            (match obj.pexp_desc with
+            | Pexp_ident { txt = Lident _; _ } -> ()
+            | _ -> walk env obj);
             walk env rhs;
             (* claim-and-clear: overwriting the field a binding was read
                from before any yield transfers ownership of the old
@@ -235,7 +244,12 @@ let check_file (file : Source.t) mutable_fields =
         | Pexp_apply
             ( { pexp_desc = Pexp_ident { txt = Lident ":="; _ }; _ },
               [ (_, lhs); (_, rhs) ] ) ->
-            walk env lhs;
+            (* bump-cell exemption, ref flavour: [cell := now] after a
+               yield updates the cell, it does not consume its stale
+               contents *)
+            (match lhs.pexp_desc with
+            | Pexp_ident { txt = Lident _; _ } -> ()
+            | _ -> walk env lhs);
             walk env rhs;
             (match lhs.pexp_desc with
             | Pexp_ident { txt = Lident r; _ } ->

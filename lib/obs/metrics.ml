@@ -63,6 +63,7 @@ let uninstall () =
 
 let current () = Domain.DLS.get slot
 
+(* snfs-hot *)
 let on () =
   Atomic.get installed_domains > 0
   && match Domain.DLS.get slot with None -> false | Some _ -> true

@@ -62,6 +62,16 @@ let test_determinism_scoping () =
   check_quiet "sprintf in lib/" "determinism"
     [ input "lib/a.ml" "let d x = Printf.sprintf \"%d\" x\n" ]
 
+let test_determinism_bench_scope () =
+  (* bench/ is a reporting harness: printing is its job, but env-read
+     configuration and un-waived wall-clock reads are still flagged *)
+  check_fires "env read in bench/" "determinism"
+    [ input "bench/b.ml" "let d () = Sys.getenv_opt \"DEBUG\"\n" ];
+  check_fires "wall clock in bench/" "determinism"
+    [ input "bench/b.ml" "let t = Unix.gettimeofday ()\n" ];
+  check_quiet "printing in bench/" "determinism"
+    [ input "bench/b.ml" "let p x = Printf.printf \"%d\" x\n" ]
+
 let test_determinism_strings_inert () =
   (* the parser, not a text scan: prose never trips the pass *)
   check_quiet "comments and strings" "determinism"
@@ -234,9 +244,228 @@ let test_yield_race_scope () =
           \  let v = g.g_version in\n\
           \  Sim.Engine.sleep e 1.0;\n\
           \  use v\n");
+    ];
+  (* bench/ is linted like lib/: the same stale read fires there *)
+  check_fires "bench/ is in scope" "yield-race"
+    [
+      input "bench/b.ml"
+        (gnode_type
+       ^ "let f g e =\n\
+          \  let v = g.g_version in\n\
+          \  Sim.Engine.sleep e 1.0;\n\
+          \  use v\n");
     ]
 
-(* ---- purity ---- *)
+let test_yield_race_bump_cell () =
+  (* the last_heard idiom: a per-caller cell fetched before a yield is
+     *stored into* afterwards — updating a persistent identity object,
+     not consuming a stale snapshot *)
+  check_quiet "ref bump cell store after yield" "yield-race"
+    [
+      input "lib/snfs/x.ml"
+        "let heartbeat t e k =\n\
+        \  let cell = Hashtbl.find t.last_heard k in\n\
+        \  Sim.Engine.sleep e 1.0;\n\
+        \  cell := Sim.Engine.now e\n";
+    ];
+  check_quiet "setfield bump cell store after yield" "yield-race"
+    [
+      input "lib/snfs/x.ml"
+        "type c = { mutable hits : int }\n\
+         let bump t e k =\n\
+        \  let cell = Hashtbl.find t.cells k in\n\
+        \  Sim.Engine.sleep e 1.0;\n\
+        \  cell.hits <- 1\n";
+    ];
+  (* reading the stale cell contents is still a race *)
+  check_fires "stale bump-cell *read* still fires" "yield-race"
+    [
+      input "lib/snfs/x.ml"
+        "let last t e k =\n\
+        \  let cell = Hashtbl.find t.last_heard k in\n\
+        \  Sim.Engine.sleep e 1.0;\n\
+        \  ignore !cell\n";
+    ]
+
+let test_yield_race_wrapper_idioms () =
+  (* the engine clock cell: a timestamp snapshot labels the moment of
+     capture; using it after a yield is how latencies are measured, not
+     a stale-state bug *)
+  check_quiet "clock snapshot across a yield" "yield-race"
+    [
+      input "lib/obs/x.ml"
+        "let measure t e =\n\
+        \  let t0 = Sim.Engine.now e in\n\
+        \  Sim.Engine.sleep e 1.0;\n\
+        \  record t (Sim.Engine.now e -. t0)\n";
+    ];
+  (* the pooled Xdr accessor: Domain.DLS.get returns this domain's own
+     slot — no other task mutates it across our yields *)
+  check_quiet "DLS pool access across a yield" "yield-race"
+    [
+      input "lib/xdr/x.ml"
+        "let with_enc e f =\n\
+        \  let p = Domain.DLS.get pool in\n\
+        \  Sim.Engine.sleep e 1.0;\n\
+        \  f p\n";
+    ]
+
+(* ---- domain-safety ---- *)
+
+let test_domain_safety_sweep_leak () =
+  (* the PR 6 global-slot-leak bug class, across modules: a sweep job
+     thunk calls Registry.install, which writes a toplevel ref *)
+  match
+    rule_findings "domain-safety"
+      [
+        input "lib/x/registry.ml"
+          "let slot = ref None\nlet install v = slot := Some v\n";
+        input "lib/x/runner.ml"
+          "let go ~jobs cs =\n\
+          \  Experiments.Sweep.map ~jobs ~f:(fun c -> Registry.install c; c) \
+           cs\n";
+      ]
+  with
+  | [ f ] ->
+      Alcotest.(check string) "flagged at the global's definition"
+        "lib/x/registry.ml" f.F.path
+  | fs ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly the leaked slot, got %d findings"
+           (List.length fs))
+
+let test_domain_safety_transitive () =
+  (* reachability is inter-module and transitive: fan-out -> Mid.note
+     -> Registry.install -> slot *)
+  check_fires "two-hop reachability" "domain-safety"
+    [
+      input "lib/x/registry.ml"
+        "let slot = ref None\nlet install v = slot := Some v\n";
+      input "lib/x/mid.ml" "let note c = Registry.install c\n";
+      input "lib/x/runner.ml"
+        "let go ~jobs cs = Experiments.Sweep.map ~jobs ~f:(fun c -> \
+         Mid.note c) cs\n";
+    ]
+
+let test_domain_safety_domain_spawn () =
+  check_fires "toplevel Hashtbl touched from Domain.spawn" "domain-safety"
+    [
+      input "lib/x/stats.ml"
+        "let hits = Hashtbl.create 16\n\
+         let go () = Domain.spawn (fun () -> Hashtbl.add hits 1 1)\n";
+    ]
+
+let test_domain_safety_dls_ownership () =
+  check_fires "qualified DLS slot access from another module"
+    "domain-safety"
+    [
+      input "lib/x/a.ml" "let key = Domain.DLS.new_key (fun () -> 0)\n";
+      input "lib/x/b.ml" "let peek () = Domain.DLS.get A.key\n";
+    ];
+  check_quiet "DLS access inside the owning module" "domain-safety"
+    [
+      input "lib/x/a.ml"
+        "let key = Domain.DLS.new_key (fun () -> 0)\n\
+         let get () = Domain.DLS.get key\n";
+    ]
+
+let test_domain_safety_clean_variants () =
+  check_quiet "Atomic global from fanned code" "domain-safety"
+    [
+      input "lib/x/stats.ml"
+        "let counter = Atomic.make 0\n\
+         let go () = Domain.spawn (fun () -> Atomic.incr counter)\n";
+    ];
+  check_quiet "mutable global never reached by fan-out" "domain-safety"
+    [
+      input "lib/x/stats.ml"
+        "let cache = Hashtbl.create 16\n\
+         let note k v = Hashtbl.replace cache k v\n";
+    ];
+  check_quiet "function-local mutable state in a sweep job"
+    "domain-safety"
+    [
+      input "lib/x/runner.ml"
+        "let go ~jobs cs =\n\
+        \  Experiments.Sweep.map ~jobs\n\
+        \    ~f:(fun c ->\n\
+        \      let acc = ref 0 in\n\
+        \      acc := c + !acc;\n\
+        \      !acc)\n\
+        \    cs\n";
+    ]
+
+(* ---- hot-alloc ---- *)
+
+(* assembled at runtime so this test file's own source (scanned by the
+   tree-is-clean test) never contains the hot marker *)
+let hot = "(* snfs-" ^ "hot *)"
+
+let test_hot_alloc_seeded () =
+  (* the ISSUE's canonical true positive: a boxed option on a declared
+     hot path *)
+  check_fires "boxed Some in a marked hot function" "hot-alloc"
+    [
+      input "lib/z/m.ml"
+        (hot ^ "\nlet find t k = if k = 0 then None else Some t\n");
+    ];
+  (* builtin allowlist needs no marker: Eventq.push is hot by name *)
+  check_fires "allowlisted function is hot without a marker" "hot-alloc"
+    [ input "lib/sim/eventq.ml" "let push t x = (t, x)\n" ];
+  (* whole-file header marker *)
+  check_fires "file-header marker covers the whole file" "hot-alloc"
+    [
+      input "lib/z/m.ml"
+        ("(* perf-critical path: " ^ hot ^ " everything below *)\n"
+       ^ "let wrap x = Some x\n");
+    ]
+
+let test_hot_alloc_constructs () =
+  let fires what src =
+    check_fires what "hot-alloc" [ input "lib/z/m.ml" (hot ^ "\n" ^ src) ]
+  in
+  fires "anonymous closure" "let go t = iter (fun x -> x + t)\n";
+  fires "Printf" "let dbg t = Printf.printf \"%d\" t\n";
+  fires "List.map" "let go xs = List.map succ xs\n";
+  fires "list append" "let go xs ys = xs @ ys\n";
+  fires "Hashtbl use" "let go t k = Hashtbl.find t k\n";
+  fires "polymorphic compare ref" "let c a b = compare a b\n";
+  fires "structured polymorphic =" "let eq a b = (a, 1) = (b, 2)\n";
+  fires "mutable float in mixed record"
+    "let tick t = t\ntype cell = { mutable last : float; name : int }\n"
+
+let test_hot_alloc_partial_application () =
+  check_fires "partial application of a known function" "hot-alloc"
+    [
+      input "lib/z/m.ml"
+        ("let add a b = a + b\n" ^ hot ^ "\nlet mk t = add t\n");
+    ];
+  check_quiet "full application is free" "hot-alloc"
+    [
+      input "lib/z/m.ml"
+        ("let add a b = a + b\n" ^ hot ^ "\nlet mk t = add t 1\n");
+    ]
+
+let test_hot_alloc_exemptions () =
+  let quiet what src =
+    check_quiet what "hot-alloc" [ input "lib/z/m.ml" (hot ^ "\n" ^ src) ]
+  in
+  quiet "local refs are unboxed by ocamlopt"
+    "let sum2 a b =\n  let acc = ref a in\n  acc := !acc + b;\n  !acc\n";
+  quiet "named local functions compile to jumps"
+    "let find t k =\n\
+    \  let rec probe i = if i = k then i else probe (i + 1) in\n\
+    \  probe t\n";
+  quiet "raise paths are cold"
+    "let get t =\n\
+    \  if t < 0 then invalid_arg (Printf.sprintf \"neg %d\" t);\n\
+    \  t\n";
+  quiet "observability-on branch may allocate"
+    "let note t =\n  if Obs.Trace.on () then emit (t, t)\n";
+  check_quiet "unmarked, unlisted code is not hot" "hot-alloc"
+    [ input "lib/z/m.ml" "let go xs = List.map succ xs\n" ];
+  check_quiet "test/ sources are never hot" "hot-alloc"
+    [ input "test/t.ml" (hot ^ "\nlet wrap x = Some x\n") ]
 
 let test_purity_seeded () =
   check_fires "printing from the core model" "purity"
@@ -389,10 +618,56 @@ let test_finding_format () =
 let test_registry () =
   Alcotest.(check (list string)) "pass registry"
     [
-      "determinism"; "hashtbl-order"; "yield-race"; "purity";
-      "interface-drift"; "missing-mli";
+      "determinism"; "hashtbl-order"; "yield-race"; "domain-safety";
+      "hot-alloc"; "purity"; "interface-drift"; "missing-mli";
     ]
     (List.map (fun p -> p.Analysis.Pass.name) D.passes)
+
+let test_rule_filters () =
+  (* one fixture violating two rules: --rules / --skip-rules project
+     the finding set, and parse errors always survive the selection *)
+  let inputs =
+    [
+      input "lib/z/m.ml"
+        (hot ^ "\nlet go t = Unix.gettimeofday () +. float_of_int (fst (t, 1))\n");
+      input "lib/z/m.mli" "";
+      input "lib/z/broken.ml" "let = in in\n";
+      input "lib/z/broken.mli" "";
+    ]
+  in
+  let rules r =
+    List.sort_uniq compare (List.map (fun f -> f.F.rule) r.D.findings)
+  in
+  let all = D.analyze inputs in
+  Alcotest.(check (list string)) "unfiltered sees both rules"
+    [ "determinism"; "hot-alloc"; "parse-error" ] (rules all);
+  let only = D.analyze ~only:[ "hot-alloc" ] inputs in
+  Alcotest.(check (list string)) "--rules keeps the subset"
+    [ "hot-alloc"; "parse-error" ] (rules only);
+  let skipped = D.analyze ~skip:[ "hot-alloc" ] inputs in
+  Alcotest.(check (list string)) "--skip-rules drops the named pass"
+    [ "determinism"; "parse-error" ] (rules skipped);
+  Alcotest.check_raises "unknown rule is rejected"
+    (Analysis.Driver.Unknown_rule "bogus") (fun () ->
+      ignore (D.analyze ~only:[ "bogus" ] inputs))
+
+let test_new_rules_baseline_roundtrip () =
+  (* baseline round trip for the two new rules: absorbed, line-move
+     independent, rule-exact *)
+  let ds =
+    F.v ~path:"lib/x/registry.ml" ~line:1 ~rule:"domain-safety" "leak"
+  and ha = F.v ~path:"lib/z/m.ml" ~line:2 ~rule:"hot-alloc" "Some" in
+  let b = B.of_string (B.to_string [ ds; ha ]) in
+  let fresh, baselined = B.apply b [ ds; ha ] in
+  Alcotest.(check int) "both absorbed" 2 (List.length baselined);
+  Alcotest.(check int) "nothing fresh" 0 (List.length fresh);
+  let moved = [ { ds with F.line = 7 }; { ha with F.line = 9 } ] in
+  let fresh, baselined = B.apply b moved in
+  Alcotest.(check int) "line-independent" 2 (List.length baselined);
+  Alcotest.(check int) "still nothing fresh" 0 (List.length fresh);
+  let other_rule = { ds with F.rule = "hot-alloc" } in
+  let fresh, _ = B.apply b [ other_rule ] in
+  Alcotest.(check int) "rule is part of the key" 1 (List.length fresh)
 
 let test_json_deterministic () =
   (* two full analyzer runs over the real tree must emit byte-identical
@@ -420,6 +695,8 @@ let () =
             test_determinism_alias_flagged;
           Alcotest.test_case "bin//test/ scoping" `Quick
             test_determinism_scoping;
+          Alcotest.test_case "bench/ scoping" `Quick
+            test_determinism_bench_scope;
           Alcotest.test_case "strings and comments inert" `Quick
             test_determinism_strings_inert;
         ] );
@@ -448,7 +725,36 @@ let () =
             test_yield_race_local_wrapper_fixpoint;
           Alcotest.test_case "deferred lambdas don't block" `Quick
             test_yield_race_deferred_lambda_ok;
-          Alcotest.test_case "lib/-only scope" `Quick test_yield_race_scope;
+          Alcotest.test_case "lib/ and bench/ scope" `Quick
+            test_yield_race_scope;
+          Alcotest.test_case "bump cells update, not read" `Quick
+            test_yield_race_bump_cell;
+          Alcotest.test_case "clock and DLS wrapper idioms" `Quick
+            test_yield_race_wrapper_idioms;
+        ] );
+      ( "domain-safety",
+        [
+          Alcotest.test_case "sweep-thunk global leak fires" `Quick
+            test_domain_safety_sweep_leak;
+          Alcotest.test_case "transitive reachability" `Quick
+            test_domain_safety_transitive;
+          Alcotest.test_case "Domain.spawn leak fires" `Quick
+            test_domain_safety_domain_spawn;
+          Alcotest.test_case "DLS slot ownership" `Quick
+            test_domain_safety_dls_ownership;
+          Alcotest.test_case "clean variants" `Quick
+            test_domain_safety_clean_variants;
+        ] );
+      ( "hot-alloc",
+        [
+          Alcotest.test_case "boxed Some and markers fire" `Quick
+            test_hot_alloc_seeded;
+          Alcotest.test_case "allocation constructs fire" `Quick
+            test_hot_alloc_constructs;
+          Alcotest.test_case "partial application" `Quick
+            test_hot_alloc_partial_application;
+          Alcotest.test_case "compiler-accurate exemptions" `Quick
+            test_hot_alloc_exemptions;
         ] );
       ( "purity",
         [
@@ -479,6 +785,9 @@ let () =
             test_driver_end_to_end;
           Alcotest.test_case "finding formats" `Quick test_finding_format;
           Alcotest.test_case "pass registry" `Quick test_registry;
+          Alcotest.test_case "rule subset filters" `Quick test_rule_filters;
+          Alcotest.test_case "new-rule baseline round trip" `Quick
+            test_new_rules_baseline_roundtrip;
           Alcotest.test_case "JSON output is byte-deterministic" `Quick
             test_json_deterministic;
           Alcotest.test_case "tree is clean" `Quick test_tree_is_clean;
