@@ -302,6 +302,68 @@ let campaign_cmd =
           domains with --jobs.")
     Term.(term_result' (const run $ jobs_arg))
 
+let crash_cmd =
+  let seed_arg =
+    let doc = "Fault-schedule seed (the whole run is a pure function of it)." in
+    Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let crash_protocol_arg =
+    let doc =
+      "Protocol to run the crash schedule on: nfs, snfs, rfs, kent, or all."
+    in
+    Arg.(value & opt string "all" & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc)
+  in
+  let run proto seed trace_file latency_table metrics_file metrics_format
+      report =
+    let protocols =
+      match proto with
+      | "all" -> Ok Experiments.Crash_exp.all_protocols
+      | "nfs" -> Ok [ Experiments.Crash_exp.Nfs ]
+      | "snfs" -> Ok [ Experiments.Crash_exp.Snfs ]
+      | "rfs" -> Ok [ Experiments.Crash_exp.Rfs ]
+      | "kent" -> Ok [ Experiments.Crash_exp.Kent ]
+      | s -> Error (Printf.sprintf "unknown protocol %S" s)
+    in
+    match protocols with
+    | Error _ as e -> e
+    | Ok protocols ->
+        List.iter print_endline
+          (Experiments.Crashplan.describe
+             (Experiments.Crashplan.generate ~seed ()));
+        let verdicts = ref [] in
+        (with_observability ~trace_file ~latency_table ~metrics_file
+           ~metrics_format ~report
+        @@ fun ?trace ?metrics () ->
+        List.iter
+          (fun protocol ->
+            verdicts :=
+              Experiments.Crash_exp.run ?trace ?metrics ~protocol ~seed ()
+              :: !verdicts)
+          protocols;
+        (* the per-run RPC latency histograms die with each engine; the
+           flight report covers the campaign through the shared metrics
+           registry instead *)
+        Obs.Latency.create ());
+        let verdicts = List.rev !verdicts in
+        print_string (Experiments.Crash_exp.table verdicts);
+        if List.for_all (fun v -> v.Experiments.Crash_exp.ok) verdicts then
+          Ok ()
+        else Error "crash campaign failed"
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ crash_protocol_arg $ seed_arg $ trace_arg $ latency_arg
+       $ metrics_arg $ metrics_format_arg $ report_arg))
+  in
+  Cmd.v
+    (Cmd.info "crash"
+       ~doc:
+         "Run the deterministic crash campaign (server crash mid-Andrew, \
+          client crashes without close, partition that heals) and verify \
+          the survivors' data.")
+    term
+
 let scaling_cmd =
   let run () = print_string (Experiments.Scaling_exp.table ()) in
   Cmd.v
@@ -317,6 +379,6 @@ let main =
        ~doc:
          "Spritely NFS reproduction: regenerate the tables and figures of \
           Srinivasan & Mogul, SOSP 1989, from a discrete-event simulation.")
-    [ table_cmd; figures_cmd; all_cmd; andrew_cmd; sort_cmd; campaign_cmd; scaling_cmd; ablations_cmd; trace_cmd; sharing_cmd ]
+    [ table_cmd; figures_cmd; all_cmd; andrew_cmd; sort_cmd; campaign_cmd; crash_cmd; scaling_cmd; ablations_cmd; trace_cmd; sharing_cmd ]
 
 let () = exit (Cmd.eval main)

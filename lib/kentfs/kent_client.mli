@@ -11,7 +11,13 @@
     attributes are fetched at open (they are kept current by the
     server, whose notion of file size advances at acquire time). *)
 
-type config = { cache_blocks : int; read_ahead : bool }
+type config = {
+  cache_blocks : int;
+  read_ahead : bool;
+  retry_budget : float option;
+      (** seconds of server outage to ride out per RPC before
+          {!Netsim.Rpc.Server_unavailable}; [None] = classic timeout *)
+}
 
 val default_config : config
 

@@ -19,6 +19,25 @@ let default_config =
 
 exception Timeout of { prog : string; proc : string }
 
+exception Server_unavailable of { prog : string; proc : string; waited : float }
+
+(* Retry budget for callers that must survive a server crash window
+   but not retry forever: whole calls are re-issued with bounded
+   exponential backoff until the budget of wall-clock (simulated)
+   seconds is spent, then the typed failure surfaces. *)
+type budget = {
+  give_up_after : float;
+  initial_backoff : float;
+  max_backoff : float;
+}
+
+let budget ?(initial_backoff = 0.5) ?(max_backoff = 30.0) give_up_after =
+  if give_up_after <= 0.0 then
+    invalid_arg "Rpc.budget: give_up_after must be positive";
+  if initial_backoff <= 0.0 then
+    invalid_arg "Rpc.budget: initial_backoff must be positive";
+  { give_up_after; initial_backoff; max_backoff = Float.max initial_backoff max_backoff }
+
 type reply = { data : bytes; bulk : int }
 
 type handler = caller:Net.Host.t -> proc:string -> Xdr.Dec.t -> reply
@@ -254,8 +273,7 @@ let handle_request t svc info ~caller ~xid ~proc ~args ~bulk ~reply_to =
    default client-side schedule (~63 s) would time the opener out. *)
 let impatient config = { config with retries = 4 }
 
-let call t ?config ~src ~dst ~prog ~proc ?(bulk = 0) args =
-  let config = match config with Some c -> c | None -> t.config in
+let call_once t config ~src ~dst ~prog ~proc ~bulk args =
   let engine = Net.engine t.net in
   let xid = t.next_xid in
   t.next_xid <- xid + 1;
@@ -389,3 +407,46 @@ let call t ?config ~src ~dst ~prog ~proc ?(bulk = 0) args =
   | exception e ->
       t.in_flight <- t.in_flight - 1;
       raise e
+
+let call t ?config ~src ~dst ~prog ~proc ?budget:b ?(bulk = 0) args =
+  let config = match config with Some c -> c | None -> t.config in
+  match b with
+  | None -> call_once t config ~src ~dst ~prog ~proc ~bulk args
+  | Some b ->
+      (* each round is a complete call (fresh xid, its own span and
+         latency record); between rounds the caller sleeps out a
+         bounded exponential backoff. Rounds stop as soon as the next
+         backoff would not fit in the budget. *)
+      let engine = Net.engine t.net in
+      let started = Sim.Engine.now engine in
+      let track = Net.Host.name src in
+      let rec go backoff =
+        match call_once t config ~src ~dst ~prog ~proc ~bulk args with
+        | data -> data
+        | exception Timeout _ ->
+            let waited = Sim.Engine.now engine -. started in
+            if waited +. backoff >= b.give_up_after then begin
+              if Obs.Metrics.on () then
+                Obs.Metrics.incr
+                  ~labels:[ ("prog", prog); ("proc", proc) ]
+                  "rpc_unavailable_total";
+              if Obs.Trace.on () then
+                Obs.Trace.instant
+                  ~ts:(Sim.Engine.now engine)
+                  ~cat:"rpc" ~name:"unavailable" ~track
+                  ~args:
+                    [ ("proc", Obs.Trace.Str (prog ^ "." ^ proc));
+                      ("waited", Obs.Trace.Float waited) ]
+                  ();
+              raise (Server_unavailable { prog; proc; waited })
+            end
+            else begin
+              if Obs.Metrics.on () then
+                Obs.Metrics.incr
+                  ~labels:[ ("prog", prog); ("proc", proc) ]
+                  "rpc_budget_retries_total";
+              Sim.Engine.sleep engine backoff;
+              go (Float.min (backoff *. 2.0) b.max_backoff)
+            end
+      in
+      go b.initial_backoff

@@ -36,6 +36,29 @@ val config : t -> config
     client host may be down, or the network is dropping messages). *)
 exception Timeout of { prog : string; proc : string }
 
+(** Raised by {!call} when a retry {!budget} is given and the server
+    stayed unreachable for the whole budget: [waited] seconds of
+    complete call rounds (each itself a full retransmission schedule)
+    separated by bounded exponential backoff. *)
+exception Server_unavailable of { prog : string; proc : string; waited : float }
+
+(** A patience budget for {!call}: on [Timeout], sleep out a bounded
+    exponential backoff and try again with a fresh call, until the next
+    backoff would overrun [give_up_after] seconds since the first
+    attempt — then raise {!Server_unavailable}. *)
+type budget = {
+  give_up_after : float;  (** total seconds before giving up *)
+  initial_backoff : float;  (** first inter-round sleep *)
+  max_backoff : float;  (** backoff ceiling *)
+}
+
+(** [budget give_up_after] with a 0.5 s initial backoff doubling up to
+    30 s. Raises [Invalid_argument] on non-positive arguments; the
+    ceiling is clamped to at least [initial_backoff]. Size the budget
+    to exceed the longest outage worth riding out (a server reboot plus
+    its grace period), since the caller blocks for all of it. *)
+val budget : ?initial_backoff:float -> ?max_backoff:float -> float -> budget
+
 (** Reply from a handler: marshalled result plus [bulk] unmarshalled
     payload bytes (file data) that count toward message size. *)
 type reply = { data : bytes; bulk : int }
@@ -79,7 +102,16 @@ val thread_pool : service -> Sim.Semaphore.t
     from process context: marshalled [args] (plus [bulk] payload bytes)
     travel to [dst], the handler runs there, and the marshalled reply
     comes back. Blocks the calling process for the full round trip.
-    Raises {!Timeout} on persistent failure. *)
+    Raises {!Timeout} on persistent failure.
+
+    With [?budget], a {!Timeout} instead starts a new round after a
+    bounded exponential backoff (see {!budget}), and only
+    {!Server_unavailable} escapes, after the budget is spent. Each
+    round is a fresh call with a fresh XID, so a round whose reply was
+    merely lost can be re-executed at the server (within one round the
+    duplicate-request cache still deduplicates retransmissions):
+    budgeted calls should be idempotent, which NFS-style procedures
+    are. *)
 val call :
   t ->
   ?config:config ->
@@ -87,6 +119,7 @@ val call :
   dst:Net.Host.t ->
   prog:string ->
   proc:string ->
+  ?budget:budget ->
   ?bulk:int ->
   bytes ->
   bytes

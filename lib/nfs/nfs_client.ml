@@ -4,6 +4,8 @@ type config = {
   attr_max : float;
   invalidate_on_close : bool;
   read_ahead : bool;
+  retry_budget : float option;
+      (* ride out server outages this long before Server_unavailable *)
 }
 
 let default_config =
@@ -13,6 +15,7 @@ let default_config =
     attr_max = 150.0;
     invalidate_on_close = true;
     read_ahead = true;
+    retry_budget = None;
   }
 
 type gnode = {
@@ -34,6 +37,7 @@ type t = {
   engine : Sim.Engine.t;
   cache : Blockcache.Cache.t;
   gnodes : (int, gnode) Hashtbl.t;
+  budget : Netsim.Rpc.budget option;
   mutable fs : Vfs.Fs.t option;
   mutable attr_probes : int;
 }
@@ -42,7 +46,7 @@ let block_size = 4096
 
 let call t ~proc ?bulk args =
   Netsim.Rpc.call t.rpc ~src:t.client ~dst:t.server ~prog:Nfs_server.prog ~proc
-    ?bulk args
+    ?budget:t.budget ?bulk args
 
 let gnode t ino =
   match Hashtbl.find_opt t.gnodes ino with
@@ -300,6 +304,7 @@ let mount rpc ~client ~server ~root ?(config = default_config) ?(name = "nfs")
            Blockcache.Cache.create engine ~name:(name ^ ".cache")
              ~capacity_blocks:config.cache_blocks ~block_size backend;
          gnodes = Hashtbl.create 256;
+         budget = Option.map Netsim.Rpc.budget config.retry_budget;
          fs = None;
          attr_probes = 0;
        })

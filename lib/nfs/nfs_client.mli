@@ -23,6 +23,11 @@ type config = {
   attr_max : float;  (** maximum attribute-cache timeout (150 s) *)
   invalidate_on_close : bool;  (** the Ultrix bug; [true] in the paper *)
   read_ahead : bool;
+  retry_budget : float option;
+      (** when set, every RPC rides out server outages up to this many
+          seconds (bounded exponential backoff between fresh calls)
+          before raising {!Netsim.Rpc.Server_unavailable}; [None]
+          (default) keeps the classic single-schedule {!Netsim.Rpc.Timeout} *)
 }
 
 val default_config : config

@@ -1,6 +1,11 @@
-type config = { cache_blocks : int; read_ahead : bool }
+type config = {
+  cache_blocks : int;
+  read_ahead : bool;
+  retry_budget : float option;
+}
 
-let default_config = { cache_blocks = 4096; read_ahead = true }
+let default_config =
+  { cache_blocks = 4096; read_ahead = true; retry_budget = None }
 
 type gnode = {
   g_ino : int;
@@ -19,6 +24,7 @@ type t = {
   engine : Sim.Engine.t;
   cache : Blockcache.Cache.t;
   gnodes : (int, gnode) Hashtbl.t;
+  budget : Netsim.Rpc.budget option;
   mutable fs : Vfs.Fs.t option;
   mutable invalidations_served : int;
 }
@@ -27,7 +33,7 @@ let block_size = 4096
 
 let call t ~proc ?bulk args =
   Netsim.Rpc.call t.rpc ~src:t.client ~dst:t.server ~prog:Rfs_server.prog ~proc
-    ?bulk args
+    ?budget:t.budget ?bulk args
 
 let gnode t ino =
   match Hashtbl.find_opt t.gnodes ino with
@@ -266,6 +272,7 @@ let mount rpc ~client ~server ~root ?(config = default_config) ?(name = "rfs")
            Blockcache.Cache.create engine ~name:(name ^ ".cache")
              ~capacity_blocks:config.cache_blocks ~block_size backend;
          gnodes = Hashtbl.create 256;
+         budget = Option.map Netsim.Rpc.budget config.retry_budget;
          fs = None;
          invalidations_served = 0;
        })

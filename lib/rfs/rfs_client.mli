@@ -7,7 +7,13 @@
     the server sends an invalidation (which the server does only when
     another client actually writes). *)
 
-type config = { cache_blocks : int; read_ahead : bool }
+type config = {
+  cache_blocks : int;
+  read_ahead : bool;
+  retry_budget : float option;
+      (** seconds of server outage to ride out per RPC before
+          {!Netsim.Rpc.Server_unavailable}; [None] = classic timeout *)
+}
 
 val default_config : config
 

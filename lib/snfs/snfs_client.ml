@@ -3,6 +3,7 @@ type config = {
   read_ahead : bool;
   delayed_close : bool;
   delayed_close_timeout : float;
+  retry_budget : float option;
 }
 
 let default_config =
@@ -11,6 +12,7 @@ let default_config =
     read_ahead = true;
     delayed_close = false;
     delayed_close_timeout = 120.0;
+    retry_budget = None;
   }
 
 type unsent_close = { u_id : int; u_write : bool }
@@ -36,6 +38,7 @@ type t = {
   engine : Sim.Engine.t;
   cache : Blockcache.Cache.t;
   gnodes : (int, gnode) Hashtbl.t;
+  budget : Netsim.Rpc.budget option;
   mutable fs : Vfs.Fs.t option;
   mutable next_unsent_id : int;
   mutable delayed_close_hits : int;
@@ -47,7 +50,7 @@ let block_size = 4096
 
 let call t ~proc ?bulk args =
   Netsim.Rpc.call t.rpc ~src:t.client ~dst:t.server ~prog:Snfs_server.prog
-    ~proc ?bulk args
+    ~proc ?budget:t.budget ?bulk args
 
 let gnode t ino =
   match Hashtbl.find_opt t.gnodes ino with
@@ -454,7 +457,9 @@ let start_keepalive t ~interval =
             recover_now t
         | Some _ -> ())
     | None -> ()
-    | exception Netsim.Rpc.Timeout _ -> () (* server down; try again later *));
+    | exception Netsim.Rpc.Timeout _ -> () (* server down; try again later *)
+    | exception Netsim.Rpc.Server_unavailable _ ->
+        () (* budgeted mount: outage outlasted the budget; keep pinging *));
     loop ()
   in
   Sim.Engine.spawn t.engine ~name:"snfs.keepalive" loop
@@ -495,6 +500,7 @@ let mount rpc ~client ~server ~root ?(config = default_config) ?(name = "snfs")
            Blockcache.Cache.create engine ~name:(name ^ ".cache")
              ~capacity_blocks:config.cache_blocks ~block_size backend;
          gnodes = Hashtbl.create 256;
+         budget = Option.map Netsim.Rpc.budget config.retry_budget;
          fs = None;
          next_unsent_id = 0;
          delayed_close_hits = 0;

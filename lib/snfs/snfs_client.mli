@@ -26,6 +26,11 @@ type config = {
   delayed_close : bool;  (** Section 6.2 extension; off in the paper *)
   delayed_close_timeout : float;
       (** spontaneous close after this much idle time *)
+  retry_budget : float option;
+      (** seconds of server outage to ride out per RPC before
+          {!Netsim.Rpc.Server_unavailable}; [None] = classic timeout.
+          Size it past reboot-plus-grace so opens retried during the
+          Section 2.4 grace period eventually go through. *)
 }
 
 val default_config : config

@@ -23,6 +23,15 @@ type t = {
      target client has not yet learned about *)
   file_locks : (int, Sim.Semaphore.t) Hashtbl.t;
   mutable clients_reaped : int;
+  (* the NFSD-style Active/Courtesy/Expirable ledger; None until the
+     laundromat is started (oracle runs and plain benchmarks never
+     start one, and then callbacks keep the legacy blunt behavior) *)
+  mutable lifecycle : Spritely.Lifecycle.t option;
+  mutable laundromat_runs : int;
+  mutable demotions : int;
+  mutable revivals : int;
+  mutable reaped_courtesy : int;
+  mutable reaped_expirable : int;
   recovery_grace : float;
   mutable grace_until : float;
   recovered : (int, unit) Hashtbl.t; (* clients that replayed state *)
@@ -53,10 +62,66 @@ let note_state t ~file =
         ]
       "snfs_state_transitions_total"
 
+(* Reap one client: its opens are dropped, files it may have dirtied
+   are flagged inconsistent, and its lifecycle entry (if any) goes. The
+   [state] names the lifecycle stage it was reaped from, for the
+   by-state counters. *)
+let reap t client ~(state : Spritely.Lifecycle.state) =
+  t.clients_reaped <- t.clients_reaped + 1;
+  (match state with
+  | Spritely.Lifecycle.Courtesy -> t.reaped_courtesy <- t.reaped_courtesy + 1
+  | Spritely.Lifecycle.Expirable -> t.reaped_expirable <- t.reaped_expirable + 1
+  | Spritely.Lifecycle.Active -> ());
+  if Obs.Metrics.on () then begin
+    Obs.Metrics.incr "snfs_clients_reaped_total";
+    Obs.Metrics.incr
+      ~labels:[ ("state", Spritely.Lifecycle.state_to_string state) ]
+      "snfs_laundromat_reaps_total"
+  end;
+  server_event t "client_reaped"
+    [
+      ("client", Obs.Trace.Int client);
+      ("state", Obs.Trace.Str (Spritely.Lifecycle.state_to_string state));
+    ];
+  Hashtbl.remove t.last_heard client;
+  (match t.lifecycle with
+  | Some lc -> Spritely.Lifecycle.forget lc ~client
+  | None -> ());
+  Spritely.State_table.forget_client t.table client
+
+let note_callback_failure t ~cause =
+  t.callbacks_failed <- t.callbacks_failed + 1;
+  if Obs.Metrics.on () then begin
+    Obs.Metrics.incr "snfs_callbacks_failed_total";
+    Obs.Metrics.incr ~labels:[ ("cause", cause) ]
+      "snfs_callback_failures_total"
+  end
+
+(* A callback prescribed against a Courtesy (or Expirable) client IS
+   the conflict of the lifecycle contract: another client's open needs
+   state only this silent client holds. Promote it to Expirable and
+   reap it on the spot — the waiting opener must not block on a 31 s
+   ping schedule to a client the laundromat already suspects. Returns
+   true when the callback was resolved this way (nothing to send). *)
+let conflict_with_suspect t ~file (cb : Spritely.State_table.callback) =
+  match t.lifecycle with
+  | None -> false
+  | Some lc -> (
+      match Spritely.Lifecycle.state lc ~client:cb.target with
+      | Spritely.Lifecycle.Active -> false
+      | Spritely.Lifecycle.Courtesy | Spritely.Lifecycle.Expirable ->
+          ignore (Spritely.Lifecycle.note_conflict lc ~client:cb.target);
+          note_callback_failure t ~cause:"courtesy_conflict";
+          server_event t "callback_conflict"
+            [ ("file", Obs.Trace.Int file);
+              ("client", Obs.Trace.Int cb.target) ];
+          reap t cb.target ~state:Spritely.Lifecycle.Expirable;
+          true)
+
 (* Deliver one callback prescribed by the state table. A dead client
    is forgotten, as Section 3.2 prescribes; its dirty data (if any) is
    lost and the entry stays flagged inconsistent. *)
-let perform_callback t ~file (cb : Spritely.State_table.callback) =
+let perform_callback_live t ~file (cb : Spritely.State_table.callback) =
   let target = Netsim.Net.Host.by_addr (Netsim.Rpc.net t.rpc) cb.target in
   let attrs = Localfs.getattr (Nfs.Wire.core_fs t.core) file in
   let args =
@@ -105,16 +170,29 @@ let perform_callback t ~file (cb : Spritely.State_table.callback) =
   | _reply ->
       if cb.writeback then
         Spritely.State_table.note_clean t.table ~file ~client:cb.target
-  | exception Netsim.Rpc.Timeout _ ->
-      t.callbacks_failed <- t.callbacks_failed + 1;
-      if Obs.Metrics.on () then
-        Obs.Metrics.incr "snfs_callbacks_failed_total";
+  | exception Netsim.Rpc.Timeout _ -> (
+      note_callback_failure t ~cause:"timeout";
       server_event t "callback_failed"
         [
           ("file", Obs.Trace.Int file);
           ("to", Obs.Trace.Str (Netsim.Net.Host.name target));
         ];
-      Spritely.State_table.forget_client t.table cb.target
+      (* with a lifecycle the dead target walks the whole ladder at
+         once — demoted for silence, promoted because this very
+         callback is a conflict, reaped; without one, the legacy blunt
+         forget *)
+      match t.lifecycle with
+      | Some lc ->
+          ignore
+            (Spritely.Lifecycle.demote lc ~client:cb.target
+               ~now:(Sim.Engine.now t.engine));
+          ignore (Spritely.Lifecycle.note_conflict lc ~client:cb.target);
+          reap t cb.target ~state:Spritely.Lifecycle.Expirable
+      | None -> Spritely.State_table.forget_client t.table cb.target)
+
+let perform_callback t ~file (cb : Spritely.State_table.callback) =
+  if conflict_with_suspect t ~file cb then ()
+  else perform_callback_live t ~file cb
 
 let perform_callbacks t ~file callbacks =
   if callbacks <> [] then
@@ -274,6 +352,22 @@ let serve rpc host ?(threads = 8) ?(max_table_entries = 1000)
          | None ->
              Hashtbl.replace tt.last_heard caller_addr
                (ref (Sim.Engine.now engine)));
+         (* any RPC from a Courtesy client revives it: it resumes with
+            its state intact, no reopen storm. The [nonactive] guard
+            keeps this off the hot path while nobody is suspect. *)
+         (match tt.lifecycle with
+         | Some lc when Spritely.Lifecycle.nonactive lc > 0 ->
+             if Spritely.Lifecycle.revive lc ~client:caller_addr then begin
+               tt.revivals <- tt.revivals + 1;
+               if Obs.Metrics.on () then
+                 Obs.Metrics.incr
+                   ~labels:[ ("via", "rpc") ]
+                   "snfs_laundromat_revivals_total";
+               server_event tt "client_revived"
+                 [ ("client", Obs.Trace.Int caller_addr);
+                   ("via", Obs.Trace.Str "rpc") ]
+             end
+         | _ -> ());
          if proc = Nfs.Wire.p_open then handle_open tt ~caller:caller_addr dec
          else if proc = Nfs.Wire.p_close then
            handle_close tt ~caller:caller_addr dec
@@ -304,6 +398,12 @@ let serve rpc host ?(threads = 8) ?(max_table_entries = 1000)
          last_heard = Hashtbl.create 16;
          file_locks = Hashtbl.create 64;
          clients_reaped = 0;
+         lifecycle = None;
+         laundromat_runs = 0;
+         demotions = 0;
+         revivals = 0;
+         reaped_courtesy = 0;
+         reaped_expirable = 0;
          recovery_grace;
          grace_until = 0.0;
          recovered = Hashtbl.create 16;
@@ -318,6 +418,11 @@ let serve rpc host ?(threads = 8) ?(max_table_entries = 1000)
       t.callbacks_sent <- 0;
       t.callbacks_failed <- 0;
       Hashtbl.reset t.recovered;
+      (* the courtesy ledger is volatile too: a rebooted server starts
+         trusting everyone again and relearns silence from scratch *)
+      (match t.lifecycle with
+      | Some lc -> Spritely.Lifecycle.reset lc
+      | None -> ());
       t.grace_until <- Sim.Engine.now engine +. t.recovery_grace);
   t
 
@@ -336,8 +441,37 @@ let clients_with_state t =
     (Spritely.State_table.files t.table)
   |> List.sort_uniq compare
 
-let start_client_reaper ?(idle = 120.0) t ~interval =
+(* The periodic laundromat (Section 2.4's "tracking the passage of
+   time", done the way Linux NFSD does it). Each pass:
+   1. pings every Active client with state that has been silent at
+      least [lease] seconds; no answer demotes it to Courtesy with all
+      its state retained;
+   2. pings every Courtesy client, so one that was merely partitioned
+      is revived as soon as the network heals, even if it never sends
+      traffic of its own;
+   3. reaps what is due: every Expirable client (a conflict claimed
+      it) and every Courtesy client older than [courtesy_lifetime] —
+      courtesy clients cannot linger indefinitely. *)
+let start_laundromat ?(lease = 120.0) ?(courtesy_lifetime = 300.0) t ~interval =
+  if t.lifecycle <> None then
+    invalid_arg "Snfs_server.start_laundromat: already started";
   let engine = Netsim.Net.engine (Netsim.Rpc.net t.rpc) in
+  let lc = Spritely.Lifecycle.create ~courtesy_lifetime () in
+  t.lifecycle <- Some lc;
+  Obs.Metrics.register_poll
+    ~labels:[ ("state", "active") ]
+    "snfs_clients"
+    (fun () ->
+      let suspects = Spritely.Lifecycle.nonactive lc in
+      float_of_int (max 0 (List.length (clients_with_state t) - suspects)));
+  Obs.Metrics.register_poll
+    ~labels:[ ("state", "courtesy") ]
+    "snfs_clients"
+    (fun () -> float_of_int (fst (Spritely.Lifecycle.counts lc)));
+  Obs.Metrics.register_poll
+    ~labels:[ ("state", "expirable") ]
+    "snfs_clients"
+    (fun () -> float_of_int (snd (Spritely.Lifecycle.counts lc)));
   let probe client =
     let target = Netsim.Net.Host.by_addr (Netsim.Rpc.net t.rpc) client in
     let e = Xdr.Enc.create () in
@@ -350,32 +484,92 @@ let start_client_reaper ?(idle = 120.0) t ~interval =
     with
     | _reply -> (
         match Hashtbl.find_opt t.last_heard client with
-        | Some cell -> cell := Sim.Engine.now engine
+        | Some cell ->
+            cell := Sim.Engine.now engine;
+            true
         | None ->
-            Hashtbl.replace t.last_heard client (ref (Sim.Engine.now engine)))
-    | exception Netsim.Rpc.Timeout _ ->
-        (* dead: drop its opens; any dirty data it held is lost and the
-           affected files are flagged inconsistent *)
-        t.clients_reaped <- t.clients_reaped + 1;
-        if Obs.Metrics.on () then
-          Obs.Metrics.incr "snfs_clients_reaped_total";
-        Hashtbl.remove t.last_heard client;
-        Spritely.State_table.forget_client t.table client
+            Hashtbl.replace t.last_heard client (ref (Sim.Engine.now engine));
+            true)
+    | exception Netsim.Rpc.Timeout _ -> false
   in
   let rec loop () =
     Sim.Engine.sleep engine interval;
+    t.laundromat_runs <- t.laundromat_runs + 1;
+    if Obs.Metrics.on () then Obs.Metrics.incr "snfs_laundromat_runs_total";
     let now = Sim.Engine.now engine in
     let silent_too_long client =
       match Hashtbl.find_opt t.last_heard client with
-      | Some heard -> now -. !heard >= idle
+      | Some heard -> now -. !heard >= lease
       | None -> true
     in
+    (* 1: silent Active clients are probed; the unresponsive become
+       Courtesy, their opens and dirty state retained *)
     List.iter
-      (fun client -> if silent_too_long client then probe client)
+      (fun client ->
+        if
+          Spritely.Lifecycle.state lc ~client = Spritely.Lifecycle.Active
+          && silent_too_long client
+          && not (probe client)
+        then
+          if Spritely.Lifecycle.demote lc ~client ~now:(Sim.Engine.now engine)
+          then begin
+            t.demotions <- t.demotions + 1;
+            if Obs.Metrics.on () then
+              Obs.Metrics.incr "snfs_laundromat_demotions_total";
+            server_event t "client_demoted"
+              [ ("client", Obs.Trace.Int client) ]
+          end)
       (clients_with_state t);
+    (* 2: Courtesy clients are probed too — a healed partition revives
+       one even before it sends traffic of its own *)
+    List.iter
+      (fun (client, state, _since) ->
+        if state = Spritely.Lifecycle.Courtesy && probe client then
+          if Spritely.Lifecycle.revive lc ~client then begin
+            t.revivals <- t.revivals + 1;
+            if Obs.Metrics.on () then
+              Obs.Metrics.incr
+                ~labels:[ ("via", "probe") ]
+                "snfs_laundromat_revivals_total";
+            server_event t "client_revived"
+              [ ("client", Obs.Trace.Int client);
+                ("via", Obs.Trace.Str "probe") ]
+          end)
+      (Spritely.Lifecycle.to_list lc);
+    (* 3: reap what is due (with courtesy_lifetime = 0 a client
+       demoted in step 1 is due in the same pass — the legacy
+       single-step reaper semantics) *)
+    List.iter
+      (fun (client, state) -> reap t client ~state)
+      (Spritely.Lifecycle.due lc ~now:(Sim.Engine.now engine));
     loop ()
   in
-  Sim.Engine.spawn engine ~name:"snfs.client-reaper" loop
+  Sim.Engine.spawn engine ~name:"snfs.laundromat" loop
+
+let start_client_reaper ?(idle = 120.0) t ~interval =
+  start_laundromat ~lease:idle ~courtesy_lifetime:0.0 t ~interval
+
+type lifecycle_stats = {
+  laundromat_runs : int;
+  demotions : int;
+  revivals : int;
+  reaped_courtesy : int;
+  reaped_expirable : int;
+}
+
+let lifecycle_stats (t : t) =
+  {
+    laundromat_runs = t.laundromat_runs;
+    demotions = t.demotions;
+    revivals = t.revivals;
+    reaped_courtesy = t.reaped_courtesy;
+    reaped_expirable = t.reaped_expirable;
+  }
+
+let client_state t ~client =
+  match t.lifecycle with
+  | None -> Spritely.Lifecycle.Active
+  | Some lc -> Spritely.Lifecycle.state lc ~client
 
 let clients_reaped t = t.clients_reaped
 

@@ -68,14 +68,55 @@ val deliver_callbacks :
     server). *)
 val core : t -> Nfs.Wire.server_core
 
+(** Start the client-lifecycle laundromat, the crash detector of
+    Section 2.4 done the NFSD way. Every [interval] seconds it probes
+    clients with table state that have been silent at least [lease]
+    seconds; an unresponsive client is demoted to
+    {!Spritely.Lifecycle.Courtesy} with all its opens and dirty-block
+    accounting retained (it may only be partitioned). A Courtesy
+    client is promoted to [Expirable] — and reaped on the spot — only
+    when another client's open prescribes a callback against it (a
+    conflict); otherwise it is reaped after [courtesy_lifetime]
+    seconds, because courtesy clients cannot linger indefinitely. A
+    Courtesy client heard from again (its own RPC, or a laundromat
+    probe answered after a partition heals) is revived to Active with
+    its state intact: no reopen storm, no grace period. Raises
+    [Invalid_argument] if a laundromat is already running. *)
+val start_laundromat :
+  ?lease:float -> ?courtesy_lifetime:float -> t -> interval:float -> unit
+
+(** The lifecycle state of one client address ([Active] when no
+    laundromat is running or the client is not suspect). *)
+val client_state : t -> client:int -> Spritely.Lifecycle.state
+
+(** Laundromat odometer: passes run, demotions to Courtesy, revivals
+    back to Active, and reaps by the state they happened from. *)
+type lifecycle_stats = {
+  laundromat_runs : int;
+  demotions : int;
+  revivals : int;
+  reaped_courtesy : int;
+  reaped_expirable : int;
+}
+
+val lifecycle_stats : t -> lifecycle_stats
+
 (** Start the client-crash detector of Section 2.4: clients holding
     state that have been silent for [idle] seconds are pinged every
     [interval]; a client that does not answer is forgotten (its opens
     are dropped and files it may have dirtied are flagged
     inconsistent). Sprite detected crashes "by tracking the passage of
     RPC packets, and using periodic keepalive packets" — this is that
-    mechanism, server-side. *)
+    mechanism, server-side.
+
+    @deprecated This is now a thin shim over {!start_laundromat} with
+    [~lease:idle ~courtesy_lifetime:0.0] — the one-step Active-to-reaped
+    behavior, with one caveat: the demotion and the reap happen in the
+    same laundromat pass, so a client is forgotten one probe timeout
+    (not one extra interval) after it goes silent, exactly as before.
+    New code should call {!start_laundromat} and give clients a real
+    courtesy lifetime. *)
 val start_client_reaper : ?idle:float -> t -> interval:float -> unit
 
-(** Clients forgotten by the reaper so far. *)
+(** Clients forgotten by the laundromat so far (any state). *)
 val clients_reaped : t -> int

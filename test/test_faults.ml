@@ -137,46 +137,170 @@ let test_dup_suppression_under_drops () =
             1 n)
         executions)
 
-let test_partition_triggers_reaper_then_heal_restores () =
-  (* Section 2.4 covers partitions as well as crashes: a client cut off
-     by the network looks dead to the server's keepalive probing. The
-     reaper reclaims its state; after the partition heals the same
-     client can use the server again. *)
+(* regression for the old one-shot reaper's data-loss hazard: a client
+   that was merely partitioned used to be forgotten outright (opens
+   dropped, files flagged inconsistent). Under the laundromat it lands
+   in Courtesy with all state retained, and is revived by a probe when
+   the partition heals — no reopen, no loss. *)
+let test_partition_lands_in_courtesy_and_resumes () =
   run_sim (fun e ->
       let w = make_world e in
       let server = w.snfs_server in
-      Snfs.Snfs_server.start_client_reaper server ~idle:30.0 ~interval:20.0;
+      Snfs.Snfs_server.start_laundromat ~lease:30.0 ~courtesy_lifetime:600.0
+        server ~interval:20.0;
+      Alcotest.check_raises "second laundromat refused"
+        (Invalid_argument "Snfs_server.start_laundromat: already started")
+        (fun () ->
+          Snfs.Snfs_server.start_laundromat server ~interval:20.0);
       let host, _, m = snfs_client w "c1" in
+      let client_addr = Netsim.Net.Host.addr host in
       let fd = Vfs.Fileio.creat m "/held-open" in
-      ignore (Vfs.Fileio.write fd ~len:4096);
+      ignore (Vfs.Fileio.write ~stamp:77 fd ~len:4096);
+      Vfs.Fileio.fsync fd;
       (* fd deliberately left open: the server holds state for c1 *)
       let table = Snfs.Snfs_server.state_table server in
       Alcotest.(check int) "state held" 1
         (Spritely.State_table.entry_count table);
-      let dropped_before = Netsim.Net.messages_dropped w.net in
+      let openers () =
+        List.concat_map
+          (fun file ->
+            List.map (fun (c, _, _) -> c)
+              (Spritely.State_table.openers table ~file))
+          (Spritely.State_table.files table)
+      in
       Netsim.Net.partition w.net host w.server_host;
-      Alcotest.(check bool) "partitioned" true
-        (Netsim.Net.partitioned w.net host w.server_host);
-      Sim.Engine.sleep e 200.0;
-      (* the probes died in the partition and the client was declared
-         crashed, exactly as if its host had gone down *)
-      Alcotest.(check bool) "probe traffic was cut" true
-        (Netsim.Net.messages_dropped w.net > dropped_before);
-      Alcotest.(check bool) "partitioned client reaped" true
-        (Snfs.Snfs_server.clients_reaped server > 0);
-      Alcotest.(check (list int)) "no open state left" []
+      (* wait for the laundromat's failed probe to demote the client *)
+      let deadline = Sim.Engine.now e +. 300.0 in
+      while
+        Snfs.Snfs_server.client_state server ~client:client_addr
+          = Spritely.Lifecycle.Active
+        && Sim.Engine.now e < deadline
+      do
+        Sim.Engine.sleep e 5.0
+      done;
+      Alcotest.(check bool) "demoted to Courtesy" true
+        (Snfs.Snfs_server.client_state server ~client:client_addr
+        = Spritely.Lifecycle.Courtesy);
+      let stats = Snfs.Snfs_server.lifecycle_stats server in
+      Alcotest.(check bool) "a demotion was counted" true
+        (stats.Snfs.Snfs_server.demotions >= 1);
+      (* the whole point: nothing was reaped, the opens are retained *)
+      Alcotest.(check int) "no client reaped" 0
+        (Snfs.Snfs_server.clients_reaped server);
+      Alcotest.(check (list int)) "open state retained" [ client_addr ]
+        (openers ());
+      (* heal: the next laundromat probe answers and revives the client *)
+      Netsim.Net.heal w.net host w.server_host;
+      let deadline = Sim.Engine.now e +. 300.0 in
+      while
+        Snfs.Snfs_server.client_state server ~client:client_addr
+          <> Spritely.Lifecycle.Active
+        && Sim.Engine.now e < deadline
+      do
+        Sim.Engine.sleep e 5.0
+      done;
+      Alcotest.(check bool) "revived to Active" true
+        (Snfs.Snfs_server.client_state server ~client:client_addr
+        = Spritely.Lifecycle.Active);
+      let stats = Snfs.Snfs_server.lifecycle_stats server in
+      Alcotest.(check bool) "a revival was counted" true
+        (stats.Snfs.Snfs_server.revivals >= 1);
+      Alcotest.(check int) "still nothing reaped" 0
+        (Snfs.Snfs_server.clients_reaped server);
+      Alcotest.(check (list int)) "open state survived the partition"
+        [ client_addr ] (openers ());
+      Alcotest.(check bool) "file not flagged inconsistent" false
+        (Spritely.State_table.was_inconsistent table
+           ~file:(List.hd (Spritely.State_table.files table)));
+      (* the client resumes on the same descriptor — no reopen storm *)
+      Vfs.Fileio.seek fd 0;
+      ignore (Vfs.Fileio.write ~stamp:78 fd ~len:4096);
+      Vfs.Fileio.fsync fd;
+      Vfs.Fileio.close fd;
+      let _, _, m2 = snfs_client w "c2" in
+      let fd2 = Vfs.Fileio.openf m2 "/held-open" Vfs.Fs.Read_only in
+      let runs = Vfs.Fileio.read fd2 ~len:4096 in
+      Vfs.Fileio.close fd2;
+      Alcotest.(check (list (pair int int))) "post-heal write visible"
+        [ (78, 4096) ] runs)
+
+(* the courtesy state is a reprieve, not an amnesty: when the partition
+   outlasts the courtesy lifetime the laundromat reaps the client after
+   all, exactly as the legacy reaper would have *)
+let test_courtesy_expires_when_partition_outlasts_lifetime () =
+  run_sim (fun e ->
+      let w = make_world e in
+      let server = w.snfs_server in
+      Snfs.Snfs_server.start_laundromat ~lease:10.0 ~courtesy_lifetime:40.0
+        server ~interval:10.0;
+      let host, _, m = snfs_client w "c1" in
+      let fd = Vfs.Fileio.creat m "/held-open" in
+      ignore (Vfs.Fileio.write fd ~len:4096);
+      ignore fd;
+      let table = Snfs.Snfs_server.state_table server in
+      Netsim.Net.partition w.net host w.server_host;
+      let deadline = Sim.Engine.now e +. 500.0 in
+      while
+        Snfs.Snfs_server.clients_reaped server = 0
+        && Sim.Engine.now e < deadline
+      do
+        Sim.Engine.sleep e 10.0
+      done;
+      Alcotest.(check int) "reaped after the courtesy lifetime" 1
+        (Snfs.Snfs_server.clients_reaped server);
+      let stats = Snfs.Snfs_server.lifecycle_stats server in
+      Alcotest.(check int) "reaped from Courtesy, not Expirable" 1
+        stats.Snfs.Snfs_server.reaped_courtesy;
+      Alcotest.(check int) "no conflict was involved" 0
+        stats.Snfs.Snfs_server.reaped_expirable;
+      Alcotest.(check (list int)) "state dropped" []
         (List.concat_map
            (fun file ->
              List.map (fun (c, _, _) -> c)
                (Spritely.State_table.openers table ~file))
-           (Spritely.State_table.files table));
-      (* heal: the client (which never actually died) is served again *)
-      Netsim.Net.heal w.net host w.server_host;
-      Alcotest.(check bool) "healed" false
-        (Netsim.Net.partitioned w.net host w.server_host);
-      Vfs.Fileio.write_file m "/after-heal" ~bytes:4096;
-      Alcotest.(check bool) "client works after heal" true
-        (Vfs.Fileio.exists m "/after-heal"))
+           (Spritely.State_table.files table)))
+
+(* the typed retry budget: a budgeted call rides out an outage shorter
+   than the budget and surfaces Server_unavailable on a longer one *)
+let test_retry_budget_surfaces_server_unavailable () =
+  run_sim (fun e ->
+      let net = Netsim.Net.create e () in
+      let rpc = Netsim.Rpc.create net () in
+      let server = Netsim.Net.Host.create net "server" in
+      let client = Netsim.Net.Host.create net "client" in
+      let executions = Hashtbl.create 8 in
+      ignore (serve_echo rpc server executions);
+      let quick = { (Netsim.Rpc.config rpc) with timeout = 0.2; retries = 3 } in
+      let echo ~budget x =
+        let enc = Xdr.Enc.create () in
+        Xdr.Enc.int32 enc x;
+        let d =
+          Xdr.Dec.of_bytes
+            (Netsim.Rpc.call rpc ~config:quick ~src:client ~dst:server
+               ~prog:"echo" ~proc:"bump" ~budget (Xdr.Enc.to_bytes enc))
+        in
+        Xdr.Dec.int32 d
+      in
+      (* outage longer than the budget: typed failure, not Timeout *)
+      Netsim.Net.Host.crash server;
+      let t0 = Sim.Engine.now e in
+      (match echo ~budget:(Netsim.Rpc.budget 20.0) 5 with
+      | _ -> Alcotest.fail "call must not succeed against a dead server"
+      | exception Netsim.Rpc.Server_unavailable { prog; proc; waited } ->
+          Alcotest.(check string) "prog" "echo" prog;
+          Alcotest.(check string) "proc" "bump" proc;
+          (* the budget caps the backoff schedule; the final round may
+             overshoot it by up to one retransmission schedule *)
+          Alcotest.(check bool) "waited out the budget" true
+            (waited > 10.0 && waited < 25.0));
+      Alcotest.(check bool) "gave up promptly after the budget" true
+        (Sim.Engine.now e -. t0 < 26.0);
+      (* outage shorter than the budget: the call rides it out *)
+      Sim.Engine.spawn e ~name:"rebooter" (fun () ->
+          Sim.Engine.sleep e 5.0;
+          Netsim.Net.Host.reboot server);
+      Alcotest.(check int) "budgeted call survives the reboot" 8
+        (echo ~budget:(Netsim.Rpc.budget 60.0) 7))
 
 let test_grace_rejects_unrecovered_clients () =
   (* after a reboot with recovery_grace, an open from a client that has
@@ -246,8 +370,15 @@ let () =
         ] );
       ( "partition",
         [
-          Alcotest.test_case "reaper fires, heal restores" `Quick
-            test_partition_triggers_reaper_then_heal_restores;
+          Alcotest.test_case "courtesy, then heal resumes" `Quick
+            test_partition_lands_in_courtesy_and_resumes;
+          Alcotest.test_case "courtesy expires eventually" `Quick
+            test_courtesy_expires_when_partition_outlasts_lifetime;
+        ] );
+      ( "retry budget",
+        [
+          Alcotest.test_case "server unavailable surfaced" `Quick
+            test_retry_budget_surfaces_server_unavailable;
         ] );
       ( "recovery grace",
         [
