@@ -172,8 +172,8 @@ let micro_tests =
                let backend =
                  {
                    Blockcache.Cache.read_block =
-                     (fun ~file:_ ~index:_ -> (0, 0));
-                   write_block = (fun ~file:_ ~index:_ ~stamp:_ ~len:_ -> ());
+                     (fun ~ctx:_ ~file:_ ~index:_ -> (0, 0));
+                   write_block = (fun ~ctx:_ ~file:_ ~index:_ ~stamp:_ ~len:_ -> ());
                  }
                in
                let c =

@@ -302,6 +302,49 @@ let campaign_cmd =
           domains with --jobs.")
     Term.(term_result' (const run $ jobs_arg))
 
+(* ---- offline trace analysis ---- *)
+
+let read_whole_file path =
+  match open_in_bin path with
+  | exception Sys_error msg ->
+      Printf.eprintf "snfs_sim: cannot read trace file: %s\n" msg;
+      exit 1
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+
+let analyze_files files =
+  match
+    List.map
+      (fun path ->
+        let label = Filename.remove_extension (Filename.basename path) in
+        Obs.Analyze.of_chrome ~label (read_whole_file path))
+      files
+  with
+  | runs ->
+      print_string (Obs.Analyze.report runs);
+      Ok ()
+  | exception Obs.Json.Error msg ->
+      Error (Printf.sprintf "malformed trace: %s" msg)
+
+let analyze_cmd =
+  let files_arg =
+    let doc =
+      "Chrome trace-event JSON files (as written by $(b,--trace)) to \
+       analyze; one report section per file."
+    in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"TRACE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Reconstruct per-operation causal trees from trace files and \
+          report the critical-path decomposition, callback-storm profile, \
+          and per-protocol consistency tax.")
+    Term.(term_result' (const analyze_files $ files_arg))
+
 let crash_cmd =
   let seed_arg =
     let doc = "Fault-schedule seed (the whole run is a pure function of it)." in
@@ -330,6 +373,9 @@ let crash_cmd =
         List.iter print_endline
           (Experiments.Crashplan.describe
              (Experiments.Crashplan.generate ~seed ()));
+        (* when the run is not fully traced, keep a bounded flight ring so
+           an oracle failure still leaves a post-mortem trace behind *)
+        if trace_file = None then Obs.Flight.arm ();
         let verdicts = ref [] in
         (with_observability ~trace_file ~latency_table ~metrics_file
            ~metrics_format ~report
@@ -346,6 +392,15 @@ let crash_cmd =
         Obs.Latency.create ());
         let verdicts = List.rev !verdicts in
         print_string (Experiments.Crash_exp.table verdicts);
+        (match Obs.Flight.last () with
+        | Some (reason, json) ->
+            let path = "crash-flight.json" in
+            let oc = open_out path in
+            output_string oc json;
+            close_out oc;
+            Printf.printf "flight recorder (%s) -> %s\n" reason path
+        | None -> ());
+        Obs.Flight.disarm ();
         if List.for_all (fun v -> v.Experiments.Crash_exp.ok) verdicts then
           Ok ()
         else Error "crash campaign failed"
@@ -379,6 +434,6 @@ let main =
        ~doc:
          "Spritely NFS reproduction: regenerate the tables and figures of \
           Srinivasan & Mogul, SOSP 1989, from a discrete-event simulation.")
-    [ table_cmd; figures_cmd; all_cmd; andrew_cmd; sort_cmd; campaign_cmd; crash_cmd; scaling_cmd; ablations_cmd; trace_cmd; sharing_cmd ]
+    [ table_cmd; figures_cmd; all_cmd; andrew_cmd; sort_cmd; campaign_cmd; crash_cmd; scaling_cmd; ablations_cmd; trace_cmd; sharing_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,34 @@
+(* Standalone causal-trace analyzer: the `snfs_sim analyze` report as
+   its own tiny executable, so trace files from CI artifacts can be
+   analyzed without linking the whole experiment stack.
+
+   Usage: snfs_trace TRACE.json [TRACE.json ...] *)
+
+let read_whole_file path =
+  match open_in_bin path with
+  | exception Sys_error msg ->
+      Printf.eprintf "snfs_trace: cannot read trace file: %s\n" msg;
+      exit 1
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    Printf.eprintf "usage: snfs_trace TRACE.json [TRACE.json ...]\n";
+    exit 2
+  end;
+  match
+    List.map
+      (fun path ->
+        let label = Filename.remove_extension (Filename.basename path) in
+        Obs.Analyze.of_chrome ~label (read_whole_file path))
+      files
+  with
+  | runs -> print_string (Obs.Analyze.report runs)
+  | exception Obs.Json.Error msg ->
+      Printf.eprintf "snfs_trace: malformed trace: %s\n" msg;
+      exit 1

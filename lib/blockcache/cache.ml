@@ -1,6 +1,10 @@
+(* [ctx] is the causal context of the operation the I/O serves
+   ({!Obs.Causal.none} for background write-back), passed through so
+   the disk layer can tag its spans with the inducing operation. *)
 type backend = {
-  read_block : file:int -> index:int -> int * int;
-  write_block : file:int -> index:int -> stamp:int -> len:int -> unit;
+  read_block : ctx:Obs.Causal.t -> file:int -> index:int -> int * int;
+  write_block :
+    ctx:Obs.Causal.t -> file:int -> index:int -> stamp:int -> len:int -> unit;
 }
 
 type wstate = Clean | Dirty of float | Writing of { mutable redirtied : float option }
@@ -233,12 +237,14 @@ let cache_incr t metric =
   if Obs.Metrics.on () then
     Obs.Metrics.incr ~labels:[ ("cache", t.name) ] metric
 
-let cache_event t name ~file ~index =
-  if Obs.Trace.on () then
+let cache_event ?(ctx = Obs.Causal.none) t name ~file ~index =
+  if Obs.Trace.on () && Obs.Causal.keep ctx then
     Obs.Trace.instant
       ~ts:(Sim.Engine.now t.engine)
       ~cat:"cache" ~name ~track:t.name
-      ~args:[ ("file", Obs.Trace.Int file); ("index", Obs.Trace.Int index) ]
+      ~args:
+        (Obs.Causal.arg ctx
+           [ ("file", Obs.Trace.Int file); ("index", Obs.Trace.Int index) ])
       ()
 
 (* ---- LRU list ---- *)
@@ -351,20 +357,22 @@ let wait_write t b =
   | Clean | Dirty _ -> ()
 
 (* Write the block back if dirty; blocks the caller until the block is
-   clean (or the in-flight write it was waiting on completes). *)
-let rec do_writeback t b =
+   clean (or the in-flight write it was waiting on completes). [ctx]
+   names the operation charged for the write (a `Sync write or flush);
+   background write-back passes none. *)
+let rec do_writeback ?(ctx = Obs.Causal.none) t b =
   match b.w with
   | Clean -> ()
   | Writing _ ->
       wait_write t b;
-      do_writeback t b
+      do_writeback ~ctx t b
   | Dirty _ ->
       let st = Writing { redirtied = None } in
       b.w <- st;
       t.writebacks <- t.writebacks + 1;
       cache_incr t "cache_writebacks_total";
-      cache_event t "writeback" ~file:b.bfile ~index:b.bindex;
-      t.backend.write_block ~file:b.bfile ~index:b.bindex ~stamp:b.stamp
+      cache_event ~ctx t "writeback" ~file:b.bfile ~index:b.bindex;
+      t.backend.write_block ~ctx ~file:b.bfile ~index:b.bindex ~stamp:b.stamp
         ~len:b.len;
       (match st with
       | Writing r -> (
@@ -453,10 +461,10 @@ let peek t ~file ~index =
   | Some b when b.fetching = None -> Some (b.stamp, b.len)
   | Some _ | None -> None
 
-let read t ~file ~index =
+let read ?(ctx = Obs.Causal.none) t ~file ~index =
   match find t ~file ~index with
   | Some b -> (
-      cache_event t "hit" ~file ~index;
+      cache_event ~ctx t "hit" ~file ~index;
       cache_incr t "cache_hits_total";
       match b.fetching with
       | Some iv ->
@@ -469,7 +477,7 @@ let read t ~file ~index =
   | None ->
       t.misses <- t.misses + 1;
       cache_incr t "cache_misses_total";
-      cache_event t "miss" ~file ~index;
+      cache_event ~ctx t "miss" ~file ~index;
       ensure_capacity t;
       (* recheck: someone may have inserted it while we evicted *)
       (match find t ~file ~index with
@@ -484,7 +492,7 @@ let read t ~file ~index =
           let iv = Sim.Ivar.create t.engine in
           b.fetching <- Some iv;
           table_insert t b;
-          let stamp, len = t.backend.read_block ~file ~index in
+          let stamp, len = t.backend.read_block ~ctx ~file ~index in
           (match b.fetching with
           | Some iv' when iv' == iv ->
               b.stamp <- stamp;
@@ -496,7 +504,7 @@ let read t ~file ~index =
           if b.doomed then table_remove t b;
           result)
 
-let write t ~file ~index ~stamp ~len mode =
+let write ?(ctx = Obs.Causal.none) t ~file ~index ~stamp ~len mode =
   if len < 0 || len > t.block_size then
     invalid_arg (Printf.sprintf "Cache.write: bad length %d" len);
   let b =
@@ -518,16 +526,18 @@ let write t ~file ~index ~stamp ~len mode =
   mark_dirty t b;
   match mode with
   | `Delayed -> ()
-  | `Sync -> do_writeback t b
+  | `Sync -> do_writeback ~ctx t b
   | `Async ->
       pending_incr t file;
       Sim.Engine.spawn t.engine ~name:(t.name ^ ".write_behind") (fun () ->
-          do_writeback t b;
+          (* write-behind completes after the caller returns: charge it
+             to the operation anyway — it induced the disk write *)
+          do_writeback ~ctx t b;
           pending_decr t file)
 
 (* ---- consistency operations ---- *)
 
-let flush_file t ~file =
+let flush_file ?(ctx = Obs.Causal.none) t ~file =
   let rec loop () =
     let dirty =
       blocks_of_file t ~file
@@ -536,7 +546,7 @@ let flush_file t ~file =
       |> List.sort (fun a b -> compare a.bindex b.bindex)
     in
     if dirty <> [] then begin
-      List.iter (fun b -> do_writeback t b) dirty;
+      List.iter (fun b -> do_writeback ~ctx t b) dirty;
       loop () (* a write may have landed while we were flushing *)
     end
   in
@@ -546,10 +556,10 @@ let flush_all t =
   let files = Hashtbl.fold (fun file _ acc -> file :: acc) t.file_heads [] in
   List.iter (fun file -> flush_file t ~file) (List.sort compare files)
 
-let flush_block t ~file ~index =
+let flush_block ?(ctx = Obs.Causal.none) t ~file ~index =
   match find t ~file ~index with
   | None -> ()
-  | Some b -> do_writeback t b
+  | Some b -> do_writeback ~ctx t b
 
 let drop_block t ~file ~index =
   match find t ~file ~index with

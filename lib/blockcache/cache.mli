@@ -23,10 +23,15 @@ type t
 
 (** Where cached blocks come from / go to. Both calls block the calling
     simulation process for the duration of the backing I/O. [write]
-    receives the content stamp and the valid length of the block. *)
+    receives the content stamp and the valid length of the block.
+    [ctx] is the causal context of the operation the I/O serves
+    ({!Obs.Causal.none} for background write-back), so the disk layer
+    can tag its spans with the inducing operation. *)
 type backend = {
-  read_block : file:int -> index:int -> int * int;  (** (stamp, len) *)
-  write_block : file:int -> index:int -> stamp:int -> len:int -> unit;
+  read_block : ctx:Obs.Causal.t -> file:int -> index:int -> int * int;
+      (** (stamp, len) *)
+  write_block :
+    ctx:Obs.Causal.t -> file:int -> index:int -> stamp:int -> len:int -> unit;
 }
 
 val create :
@@ -48,8 +53,10 @@ val capacity_blocks : t -> int
 
 (** [read t ~file ~index] returns [(stamp, len)] for the block, fetching
     it from the backend on a miss. Concurrent misses on one block are
-    coalesced into a single backend read. *)
-val read : t -> file:int -> index:int -> int * int
+    coalesced into a single backend read. [?ctx] tags the hit/miss
+    trace instants and any backend fetch with the reading operation's
+    causal context. *)
+val read : ?ctx:Obs.Causal.t -> t -> file:int -> index:int -> int * int
 
 (** Look without fetching or touching LRU state. *)
 val peek : t -> file:int -> index:int -> (int * int) option
@@ -58,15 +65,17 @@ val peek : t -> file:int -> index:int -> (int * int) option
     the block under the given write policy. With [`Sync] the call
     blocks until the backend write completes; with [`Async] it returns
     immediately and the write proceeds in the background; with
-    [`Delayed] the block just becomes dirty. *)
+    [`Delayed] the block just becomes dirty. [?ctx] charges the
+    resulting backend write (immediate or write-behind) to the writing
+    operation's causal context. *)
 val write :
-  t -> file:int -> index:int -> stamp:int -> len:int ->
+  ?ctx:Obs.Causal.t -> t -> file:int -> index:int -> stamp:int -> len:int ->
   [ `Sync | `Async | `Delayed ] -> unit
 
 (** {2 Consistency operations} *)
 
 (** Write back all dirty blocks of the file; blocks until done. *)
-val flush_file : t -> file:int -> unit
+val flush_file : ?ctx:Obs.Causal.t -> t -> file:int -> unit
 
 (** Write back every dirty block in the cache; blocks until done. *)
 val flush_all : t -> unit
@@ -87,7 +96,7 @@ val cancel_dirty : t -> file:int -> int
 (** {2 Single-block operations (block-granularity protocols)} *)
 
 (** Write back one block if it is dirty; blocks until clean. *)
-val flush_block : t -> file:int -> index:int -> unit
+val flush_block : ?ctx:Obs.Causal.t -> t -> file:int -> index:int -> unit
 
 (** Drop one block without writing it back, cancelling a pending
     delayed write if there is one. *)

@@ -10,6 +10,7 @@ let ra81 =
 type t = {
   name : string;
   params : params;
+  engine : Sim.Engine.t;
   arm : Sim.Resource.t;
   mutable reads : int;
   mutable writes : int;
@@ -22,6 +23,7 @@ let create engine ?(params = ra81) name =
   {
     name;
     params;
+    engine;
     arm = Sim.Resource.create engine ~capacity:1 (name ^ ".arm");
     reads = 0;
     writes = 0;
@@ -43,7 +45,21 @@ let service_time t ~at bytes =
   +. (if sequential then 0.0 else t.params.positioning)
   +. (float_of_int bytes /. t.params.transfer_rate)
 
-let read ?at t ~bytes =
+(* Span covers queueing for the arm plus service: that whole wait is
+   what the request's operation experiences as "disk". *)
+let io_span t ~ctx name bytes =
+  if Obs.Trace.on () && Obs.Causal.keep ctx then
+    Obs.Trace.span
+      ~ts:(Sim.Engine.now t.engine)
+      ~cat:"disk" ~name ~track:t.name
+      ~args:(Obs.Causal.arg ctx [ ("bytes", Obs.Trace.Int bytes) ])
+      ()
+  else Obs.Trace.none
+
+let finish_span t sp =
+  Obs.Trace.finish ~ts:(Sim.Engine.now t.engine) sp
+
+let read ?at ?(ctx = Obs.Causal.none) t ~bytes =
   if bytes < 0 then invalid_arg "Disk.read: negative size";
   t.reads <- t.reads + 1;
   t.bytes_read <- t.bytes_read + bytes;
@@ -55,9 +71,11 @@ let read ?at t ~bytes =
       ~n:bytes "disk_bytes_read_total";
     Obs.Metrics.observe ~labels:[ ("device", t.name) ] "disk_io_seconds" dur
   end;
-  Sim.Resource.use t.arm dur
+  let sp = io_span t ~ctx "disk read" bytes in
+  Sim.Resource.use t.arm dur;
+  finish_span t sp
 
-let write ?at t ~bytes =
+let write ?at ?(ctx = Obs.Causal.none) t ~bytes =
   if bytes < 0 then invalid_arg "Disk.write: negative size";
   t.writes <- t.writes + 1;
   t.bytes_written <- t.bytes_written + bytes;
@@ -69,7 +87,9 @@ let write ?at t ~bytes =
       ~n:bytes "disk_bytes_written_total";
     Obs.Metrics.observe ~labels:[ ("device", t.name) ] "disk_io_seconds" dur
   end;
-  Sim.Resource.use t.arm dur
+  let sp = io_span t ~ctx "disk write" bytes in
+  Sim.Resource.use t.arm dur;
+  finish_span t sp
 
 let reads t = t.reads
 let writes t = t.writes

@@ -32,11 +32,15 @@ val name : t -> string
     directly on the previous request's pays no positioning cost (the
     head is already there), which is what makes sequential file I/O
     several times cheaper than scattered I/O. Omitting [at] always
-    pays positioning. *)
-val read : ?at:int -> t -> bytes:int -> unit
+    pays positioning.
 
-(** [write t ?at ~bytes] blocks for one write request. *)
-val write : ?at:int -> t -> bytes:int -> unit
+    [?ctx] tags the request's trace span (cat ["disk"], covering both
+    queueing for the arm and service time) with the causal context of
+    the operation it serves — see {!Obs.Causal}. *)
+val read : ?at:int -> ?ctx:Obs.Causal.t -> t -> bytes:int -> unit
+
+(** [write t ?at ?ctx ~bytes] blocks for one write request. *)
+val write : ?at:int -> ?ctx:Obs.Causal.t -> t -> bytes:int -> unit
 
 val reads : t -> int
 val writes : t -> int

@@ -47,8 +47,16 @@ type run = {
   trace_json : string;
 }
 
-let run_one ?(observe = false) config =
-  let trace = if observe then Some (Obs.Trace.create ()) else None in
+(* One billion ids per slot: no realistic run mints more, so sibling
+   slots' span ids (and minted op ids) can never collide when their
+   traces are merged into one file. *)
+let slot_id_stride = 1_000_000_000
+
+let run_one ?(observe = false) ?(slot = 0) config =
+  let trace =
+    if observe then Some (Obs.Trace.create ~id_base:(slot * slot_id_stride) ())
+    else None
+  in
   let metrics = if observe then Some (Obs.Metrics.create ()) else None in
   let phases, counts, events =
     Driver.run ?trace ?metrics (fun engine ->
@@ -89,6 +97,8 @@ let run_one ?(observe = false) config =
   }
 
 let run ~jobs ?observe configs =
-  Sweep.map ~jobs ~f:(fun c -> run_one ?observe c) configs
+  Sweep.map ~jobs
+    ~f:(fun (slot, c) -> run_one ?observe ~slot c)
+    (List.mapi (fun i c -> (i, c)) configs)
 
 let table runs = String.concat "" (List.map (fun r -> r.report) runs)

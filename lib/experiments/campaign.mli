@@ -47,10 +47,14 @@ type run = {
 }
 
 (** Run one config in a fresh simulation. [observe] (default false)
-    installs a tracer and metrics registry for the run. *)
-val run_one : ?observe:bool -> config -> run
+    installs a tracer and metrics registry for the run. [slot]
+    (default 0) offsets the tracer's span-id range so traces from
+    different campaign slots never share ids when merged. *)
+val run_one : ?observe:bool -> ?slot:int -> config -> run
 
-(** Run a whole campaign with {!Sweep.map}; results in input order. *)
+(** Run a whole campaign with {!Sweep.map}; results in input order.
+    Each config's tracer allocates span ids from its own disjoint
+    per-slot range. *)
 val run : jobs:int -> ?observe:bool -> config list -> run list
 
 (** Concatenated reports. *)

@@ -318,6 +318,14 @@ let run ?trace ?metrics ~protocol ~seed () =
             && st.Snfs.Snfs_server.revivals >= 1
             && courtesy_resumed
       in
+      (* snapshot the flight-recorder ring at the oracle itself: when the
+         run is traced or the recorder is not armed this is a no-op, so
+         the verdict stays a pure function of the seed *)
+      if not ok then
+        Obs.Flight.capture
+          ~reason:
+            (Printf.sprintf "crash oracle failed: %s seed %Ld"
+               (protocol_name protocol) seed);
       {
         protocol = protocol_name protocol;
         seed;

@@ -40,7 +40,7 @@ let bstate t key =
 
 (* one block-level callback to one client; [invalidate] false means
    "write the block back but you may keep a clean copy" *)
-let block_callback t ~ino ~index ~target ~writeback ~invalidate =
+let block_callback t ~ctx ~ino ~index ~target ~writeback ~invalidate =
   let host = Netsim.Net.Host.by_addr (Netsim.Rpc.net t.rpc) target in
   let e = Xdr.Enc.create () in
   Nfs.Wire.enc_fh e
@@ -48,12 +48,14 @@ let block_callback t ~ino ~index ~target ~writeback ~invalidate =
       Nfs.Wire.fsid = Nfs.Wire.core_fsid t.core;
       ino;
       gen =
-        (try (Localfs.getattr (Nfs.Wire.core_fs t.core) ino).Localfs.gen
+        (try (Localfs.getattr ~ctx (Nfs.Wire.core_fs t.core) ino).Localfs.gen
          with Localfs.Error _ -> 1);
     };
   Xdr.Enc.uint32 e index;
   Xdr.Enc.bool e writeback;
   Xdr.Enc.bool e invalidate;
+  (* the inducing operation rides in the callback payload *)
+  Xdr.Enc.ctx e (Obs.Causal.id ctx);
   if invalidate then begin
     t.invalidations <- t.invalidations + 1;
     if Obs.Metrics.on () then
@@ -63,25 +65,31 @@ let block_callback t ~ino ~index ~target ~writeback ~invalidate =
     t.recalls <- t.recalls + 1;
     if Obs.Metrics.on () then Obs.Metrics.incr "kent_recalls_sent_total"
   end;
-  if Obs.Trace.on () then
+  if Obs.Trace.on () && Obs.Causal.keep ctx then
     Obs.Trace.instant
       ~ts:(Sim.Engine.now (Netsim.Net.engine (Netsim.Rpc.net t.rpc)))
       ~cat:"kent"
       ~name:(if writeback then "recall" else "invalidate_send")
       ~track:(Netsim.Net.Host.name t.host)
       ~args:
-        [
-          ("ino", Obs.Trace.Int ino);
-          ("index", Obs.Trace.Int index);
-          ("to", Obs.Trace.Str (Netsim.Net.Host.name host));
-          ("invalidate", Obs.Trace.Bool invalidate);
-        ]
+        (Obs.Causal.arg ctx
+           [
+             ("ino", Obs.Trace.Int ino);
+             ("index", Obs.Trace.Int index);
+             ("to", Obs.Trace.Str (Netsim.Net.Host.name host));
+             ("invalidate", Obs.Trace.Bool invalidate);
+           ])
       ();
+  if Obs.Causal.live ctx then
+    Obs.Trace.flow_start
+      ~ts:(Sim.Engine.now (Netsim.Net.engine (Netsim.Rpc.net t.rpc)))
+      ~track:(Netsim.Net.Host.name t.host)
+      ~id:(Obs.Causal.id ctx) ();
   (* hold a callback token while waiting on the client, so at least one
      server thread stays free for the write-back it may provoke *)
   Sim.Semaphore.with_unit t.callback_tokens @@ fun () ->
   match
-    Netsim.Rpc.call t.rpc
+    Netsim.Rpc.call t.rpc ~ctx
       ~config:(Netsim.Rpc.impatient (Netsim.Rpc.config t.rpc))
       ~src:t.host ~dst:host
       ~prog:(client_prog_for (Nfs.Wire.core_fsid t.core))
@@ -92,11 +100,11 @@ let block_callback t ~ino ~index ~target ~writeback ~invalidate =
 
 (* a reader wants current data: if someone owns the block, recall it
    (the owner writes it back and downgrades to a clean copy) *)
-let recall_for_read t ~ino ~index =
+let recall_for_read t ~ctx ~ino ~index =
   let b = bstate t (ino, index) in
   match b.owner with
   | Some o ->
-      if block_callback t ~ino ~index ~target:o ~writeback:true
+      if block_callback t ~ctx ~ino ~index ~target:o ~writeback:true
            ~invalidate:false
       then b.copyset <- o :: List.filter (fun c -> c <> o) b.copyset;
       b.owner <- None
@@ -104,27 +112,27 @@ let recall_for_read t ~ino ~index =
 
 (* a writer wants ownership: recall from the present owner and
    invalidate every other cached copy *)
-let handle_acquire t ~caller d =
+let handle_acquire t ~caller ~ctx d =
   let fh = Nfs.Wire.dec_fh d in
   let index = Xdr.Dec.uint32 d in
   let len = Xdr.Dec.uint32 d in
   let ino = fh.Nfs.Wire.ino in
   let e = Xdr.Enc.create () in
-  (match Localfs.getattr (Nfs.Wire.core_fs t.core) ino with
+  (match Localfs.getattr ~ctx (Nfs.Wire.core_fs t.core) ino with
   | _attrs ->
       let b = bstate t (ino, index) in
       Sim.Semaphore.with_unit b.lock (fun () ->
           (match b.owner with
           | Some o when o <> caller ->
               ignore
-                (block_callback t ~ino ~index ~target:o ~writeback:true
+                (block_callback t ~ctx ~ino ~index ~target:o ~writeback:true
                    ~invalidate:true)
           | Some _ | None -> ());
           List.iter
             (fun c ->
               if c <> caller then
                 ignore
-                  (block_callback t ~ino ~index ~target:c ~writeback:false
+                  (block_callback t ~ctx ~ino ~index ~target:c ~writeback:false
                      ~invalidate:true))
             b.copyset;
           b.owner <- Some caller;
@@ -135,22 +143,22 @@ let handle_acquire t ~caller d =
             (index * Localfs.block_size (Nfs.Wire.core_fs t.core)) + len
           in
           let current =
-            (Localfs.getattr (Nfs.Wire.core_fs t.core) ino).Localfs.size
+            (Localfs.getattr ~ctx (Nfs.Wire.core_fs t.core) ino).Localfs.size
           in
           if size > current then
-            Localfs.setattr (Nfs.Wire.core_fs t.core) ino ~size ());
+            Localfs.setattr ~ctx (Nfs.Wire.core_fs t.core) ino ~size ());
       Nfs.Wire.enc_status e (Ok ())
   | exception Localfs.Error err -> Nfs.Wire.enc_status e (Error err));
   { Netsim.Rpc.data = Xdr.Enc.to_bytes e; bulk = 0 }
 
 (* reads need per-block recall + copyset tracking, so the shared read
    handler is bypassed *)
-let handle_read t ~caller d =
+let handle_read t ~caller ~ctx d =
   let fh = Nfs.Wire.dec_fh d in
   let index = Xdr.Dec.uint32 d in
   let ino = fh.Nfs.Wire.ino in
   let e = Xdr.Enc.create () in
-  match Localfs.getattr (Nfs.Wire.core_fs t.core) ino with
+  match Localfs.getattr ~ctx (Nfs.Wire.core_fs t.core) ino with
   | exception Localfs.Error err ->
       Nfs.Wire.enc_status e (Error err);
       { Netsim.Rpc.data = Xdr.Enc.to_bytes e; bulk = 0 }
@@ -158,9 +166,9 @@ let handle_read t ~caller d =
       let b = bstate t (ino, index) in
       let stamp, len =
         Sim.Semaphore.with_unit b.lock (fun () ->
-            recall_for_read t ~ino ~index;
+            recall_for_read t ~ctx ~ino ~index;
             let result =
-              Localfs.read_block (Nfs.Wire.core_fs t.core) ino ~index
+              Localfs.read_block ~ctx (Nfs.Wire.core_fs t.core) ino ~index
             in
             if not (List.mem caller b.copyset) then
               b.copyset <- caller :: b.copyset;
@@ -174,12 +182,12 @@ let handle_read t ~caller d =
 (* truncation makes outstanding block states moot: owners and copy
    holders must drop their blocks or stale data could later resurface
    via a delayed write-back *)
-let handle_setattr t ~caller d =
+let handle_setattr t ~caller ~ctx d =
   let fh = Nfs.Wire.dec_fh d in
   let size = Xdr.Dec.uint32 d in
   let ino = fh.Nfs.Wire.ino in
   let e = Xdr.Enc.create () in
-  (match Localfs.getattr (Nfs.Wire.core_fs t.core) ino with
+  (match Localfs.getattr ~ctx (Nfs.Wire.core_fs t.core) ino with
   | _attrs ->
       (* sorted: the invalidation callbacks below must not go out in
          hash-bucket order (snfs_lint's hashtbl-order rule) *)
@@ -195,23 +203,23 @@ let handle_setattr t ~caller d =
               (match b.owner with
               | Some o when o <> caller ->
                   ignore
-                    (block_callback t ~ino ~index ~target:o ~writeback:false
-                       ~invalidate:true)
+                    (block_callback t ~ctx ~ino ~index ~target:o
+                       ~writeback:false ~invalidate:true)
               | Some _ | None -> ());
               List.iter
                 (fun c ->
                   if c <> caller then
                     ignore
-                      (block_callback t ~ino ~index ~target:c ~writeback:false
-                         ~invalidate:true))
+                      (block_callback t ~ctx ~ino ~index ~target:c
+                         ~writeback:false ~invalidate:true))
                 b.copyset;
               b.owner <- None;
               b.copyset <- []);
           Hashtbl.remove t.blocks (ino, index))
         affected;
-      (match Localfs.setattr (Nfs.Wire.core_fs t.core) ino ~size () with
+      (match Localfs.setattr ~ctx (Nfs.Wire.core_fs t.core) ino ~size () with
       | () ->
-          let attrs = Localfs.getattr (Nfs.Wire.core_fs t.core) ino in
+          let attrs = Localfs.getattr ~ctx (Nfs.Wire.core_fs t.core) ino in
           Nfs.Wire.enc_status e (Ok ());
           Nfs.Wire.enc_attrs e attrs
       | exception Localfs.Error err -> Nfs.Wire.enc_status e (Error err))
@@ -237,20 +245,20 @@ let serve rpc host ?(threads = 8) ~fsid fs =
     lazy
       (let core =
          Nfs.Wire.make_server_core ~fsid fs
-           ~on_remove:(fun ~ino -> forget_file (Lazy.force t) ino)
+           ~on_remove:(fun ~ino ~ctx:_ -> forget_file (Lazy.force t) ino)
            ()
        in
-       let handler ~caller ~proc dec =
+       let handler ~caller ~ctx ~proc dec =
          let tt = Lazy.force t in
          let caller_addr = Netsim.Net.Host.addr caller in
-         if proc = p_acquire then handle_acquire tt ~caller:caller_addr dec
+         if proc = p_acquire then handle_acquire tt ~caller:caller_addr ~ctx dec
          else if proc = Nfs.Wire.p_read then
-           handle_read tt ~caller:caller_addr dec
+           handle_read tt ~caller:caller_addr ~ctx dec
          else if proc = Nfs.Wire.p_setattr then
-           handle_setattr tt ~caller:caller_addr dec
+           handle_setattr tt ~caller:caller_addr ~ctx dec
          else
            match
-             Nfs.Wire.handle_basic tt.core ~caller:caller_addr ~proc dec
+             Nfs.Wire.handle_basic tt.core ~caller:caller_addr ~ctx ~proc dec
            with
            | Some reply -> reply
            | None ->

@@ -81,12 +81,16 @@ let create engine ~name ~disk ~cache_blocks ?(block_size = 4096)
   let backend =
     {
       Blockcache.Cache.read_block =
-        (fun ~file ~index ->
-          Diskm.Disk.read ~at:(disk_address ~file ~index) disk ~bytes:block_size;
+        (fun ~ctx ~file ~index ->
+          Diskm.Disk.read
+            ~at:(disk_address ~file ~index)
+            ~ctx disk ~bytes:block_size;
           (0, block_size));
       write_block =
-        (fun ~file ~index ~stamp:_ ~len:_ ->
-          Diskm.Disk.write ~at:(disk_address ~file ~index) disk ~bytes:block_size);
+        (fun ~ctx ~file ~index ~stamp:_ ~len:_ ->
+          Diskm.Disk.write
+            ~at:(disk_address ~file ~index)
+            ~ctx disk ~bytes:block_size);
     }
   in
   let cache =
@@ -158,17 +162,17 @@ let inode_block_index ino = ino / inodes_per_block
 
 (* Charge a read of the inode-table block holding [ino] (usually a
    cache hit once warm). *)
-let read_inode_block t ino =
+let read_inode_block ?ctx t ino =
   ignore
-    (Blockcache.Cache.read t.cache ~file:inode_table_fid
+    (Blockcache.Cache.read ?ctx t.cache ~file:inode_table_fid
        ~index:(inode_block_index ino))
 
 let meta_mode t : [ `Sync | `Async | `Delayed ] =
   match t.meta_policy with `Sync -> `Sync | `Delayed -> `Delayed
 
 (* Charge a write of the inode-table block holding [ino]. *)
-let write_inode_block t ino =
-  Blockcache.Cache.write t.cache ~file:inode_table_fid
+let write_inode_block ?ctx t ino =
+  Blockcache.Cache.write ?ctx t.cache ~file:inode_table_fid
     ~index:(inode_block_index ino) ~stamp:(next_meta_stamp t)
     ~len:t.block_size (meta_mode t)
 
@@ -183,21 +187,21 @@ let dir_block_of_name t inode name =
   let nblocks = max 1 ((inode.i_size + t.block_size - 1) / t.block_size) in
   Hashtbl.hash name mod nblocks
 
-let read_dir_block t inode name =
+let read_dir_block ?ctx t inode name =
   ignore
-    (Blockcache.Cache.read t.cache ~file:inode.i_ino
+    (Blockcache.Cache.read ?ctx t.cache ~file:inode.i_ino
        ~index:(dir_block_of_name t inode name))
 
-let write_dir_block t inode name =
-  Blockcache.Cache.write t.cache ~file:inode.i_ino
+let write_dir_block ?ctx t inode name =
+  Blockcache.Cache.write ?ctx t.cache ~file:inode.i_ino
     ~index:(dir_block_of_name t inode name)
     ~stamp:(next_meta_stamp t) ~len:t.block_size (meta_mode t)
 
 let dir_entry_bytes name = 16 + String.length name
 
-let getattr t ino =
+let getattr ?ctx t ino =
   let i = get_inode t ino in
-  read_inode_block t ino;
+  read_inode_block ?ctx t ino;
   {
     ino = i.i_ino;
     gen = i.i_gen;
@@ -208,10 +212,10 @@ let getattr t ino =
     ctime = i.i_ctime;
   }
 
-let lookup t ~dir name =
+let lookup ?ctx t ~dir name =
   let d = get_inode t dir in
   let entries = dir_entries d in
-  read_dir_block t d name;
+  read_dir_block ?ctx t d name;
   match Hashtbl.find_opt entries name with
   | Some ino -> ino
   | None -> fail Noent
@@ -235,32 +239,32 @@ let alloc_inode t ftype =
   set_inode t ino inode;
   inode
 
-let add_entry t dir name ftype =
+let add_entry ?ctx t dir name ftype =
   let d = get_inode t dir in
   let entries = dir_entries d in
-  read_dir_block t d name;
+  read_dir_block ?ctx t d name;
   if Hashtbl.mem entries name then fail Exist;
   let inode = alloc_inode t ftype in
   Hashtbl.replace entries name inode.i_ino;
   d.i_size <- d.i_size + dir_entry_bytes name;
   d.i_mtime <- Sim.Engine.now t.engine;
-  write_dir_block t d name;
-  write_inode_block t d.i_ino;
-  write_inode_block t inode.i_ino;
+  write_dir_block ?ctx t d name;
+  write_inode_block ?ctx t d.i_ino;
+  write_inode_block ?ctx t inode.i_ino;
   inode.i_ino
 
-let create_file t ~dir name = add_entry t dir name File
-let mkdir t ~dir name = add_entry t dir name Dir
+let create_file ?ctx t ~dir name = add_entry ?ctx t dir name File
+let mkdir ?ctx t ~dir name = add_entry ?ctx t dir name Dir
 
 let free_data t inode =
   (* dropping a file's dirty blocks without writing them is the
      write-aversion effect measured in Section 5.4 *)
   ignore (Blockcache.Cache.cancel_dirty t.cache ~file:inode.i_ino)
 
-let remove t ~dir name =
+let remove ?ctx t ~dir name =
   let d = get_inode t dir in
   let entries = dir_entries d in
-  read_dir_block t d name;
+  read_dir_block ?ctx t d name;
   match Hashtbl.find_opt entries name with
   | None -> fail Noent
   | Some ino ->
@@ -269,19 +273,19 @@ let remove t ~dir name =
       Hashtbl.remove entries name;
       d.i_size <- max 0 (d.i_size - dir_entry_bytes name);
       d.i_mtime <- Sim.Engine.now t.engine;
-      write_dir_block t d name;
+      write_dir_block ?ctx t d name;
       inode.i_nlink <- inode.i_nlink - 1;
       if inode.i_nlink = 0 then begin
         free_data t inode;
         drop_inode t ino
       end;
-      write_inode_block t ino;
-      write_inode_block t d.i_ino
+      write_inode_block ?ctx t ino;
+      write_inode_block ?ctx t d.i_ino
 
-let rmdir t ~dir name =
+let rmdir ?ctx t ~dir name =
   let d = get_inode t dir in
   let entries = dir_entries d in
-  read_dir_block t d name;
+  read_dir_block ?ctx t d name;
   match Hashtbl.find_opt entries name with
   | None -> fail Noent
   | Some ino ->
@@ -291,21 +295,21 @@ let rmdir t ~dir name =
       Hashtbl.remove entries name;
       d.i_size <- max 0 (d.i_size - dir_entry_bytes name);
       d.i_mtime <- Sim.Engine.now t.engine;
-      write_dir_block t d name;
+      write_dir_block ?ctx t d name;
       drop_inode t ino;
-      write_inode_block t ino;
-      write_inode_block t d.i_ino
+      write_inode_block ?ctx t ino;
+      write_inode_block ?ctx t d.i_ino
 
-let rename t ~fromdir fname ~todir tname =
+let rename ?ctx t ~fromdir fname ~todir tname =
   let fd = get_inode t fromdir in
   let fentries = dir_entries fd in
-  read_dir_block t fd fname;
+  read_dir_block ?ctx t fd fname;
   match Hashtbl.find_opt fentries fname with
   | None -> fail Noent
   | Some ino ->
       let td = get_inode t todir in
       let tentries = dir_entries td in
-      read_dir_block t td tname;
+      read_dir_block ?ctx t td tname;
       (* clobber an existing target, Unix-style *)
       (match Hashtbl.find_opt tentries tname with
       | Some existing when existing <> ino ->
@@ -324,25 +328,25 @@ let rename t ~fromdir fname ~todir tname =
       let now = Sim.Engine.now t.engine in
       fd.i_mtime <- now;
       td.i_mtime <- now;
-      write_dir_block t fd fname;
-      write_dir_block t td tname;
-      write_inode_block t fd.i_ino;
-      write_inode_block t td.i_ino
+      write_dir_block ?ctx t fd fname;
+      write_dir_block ?ctx t td tname;
+      write_inode_block ?ctx t fd.i_ino;
+      write_inode_block ?ctx t td.i_ino
 
-let readdir t ~dir =
+let readdir ?ctx t ~dir =
   let d = get_inode t dir in
   let entries = dir_entries d in
   (* scanning a directory reads all its blocks *)
   let nblocks = max 1 ((d.i_size + t.block_size - 1) / t.block_size) in
   for index = 0 to nblocks - 1 do
-    ignore (Blockcache.Cache.read t.cache ~file:d.i_ino ~index)
+    ignore (Blockcache.Cache.read ?ctx t.cache ~file:d.i_ino ~index)
   done;
   Hashtbl.fold (fun name _ acc -> name :: acc) entries []
   |> List.sort String.compare
 
-let setattr t ino ?size ?mtime () =
+let setattr ?ctx t ino ?size ?mtime () =
   let i = get_inode t ino in
-  read_inode_block t ino;
+  read_inode_block ?ctx t ino;
   (match size with
   | None -> ()
   | Some size ->
@@ -356,24 +360,24 @@ let setattr t ino ?size ?mtime () =
   (match mtime with
   | None -> ()
   | Some m -> i.i_mtime <- m);
-  write_inode_block t ino
+  write_inode_block ?ctx t ino
 
-let read_block t ino ~index =
+let read_block ?ctx t ino ~index =
   let i = get_inode t ino in
   if i.i_ftype = Dir then fail Isdir;
   if index < 0 then invalid_arg "Localfs.read_block: negative index";
   if index * t.block_size >= i.i_size then (0, 0) (* hole / EOF *)
   else begin
-    let stamp, len = Blockcache.Cache.read t.cache ~file:ino ~index in
+    let stamp, len = Blockcache.Cache.read ?ctx t.cache ~file:ino ~index in
     let valid = min len (i.i_size - (index * t.block_size)) in
     (stamp, valid)
   end
 
-let write_block t ino ~index ~stamp ~len mode =
+let write_block ?ctx t ino ~index ~stamp ~len mode =
   let i = get_inode t ino in
   if i.i_ftype = Dir then fail Isdir;
   if index < 0 then invalid_arg "Localfs.write_block: negative index";
-  Blockcache.Cache.write t.cache ~file:ino ~index ~stamp ~len mode;
+  Blockcache.Cache.write ?ctx t.cache ~file:ino ~index ~stamp ~len mode;
   let endpos = (index * t.block_size) + len in
   if endpos > i.i_size then i.i_size <- endpos;
   i.i_mtime <- Sim.Engine.now t.engine;
@@ -384,24 +388,24 @@ let write_block t ino ~index ~stamp ~len mode =
      on every write system call *)
   match (mode, t.meta_policy) with
   | `Sync, `Sync ->
-      Blockcache.Cache.write t.cache ~file:inode_table_fid
+      Blockcache.Cache.write ?ctx t.cache ~file:inode_table_fid
         ~index:(inode_block_index ino) ~stamp:(next_meta_stamp t)
         ~len:t.block_size `Sync;
       if index >= direct_blocks then
-        Blockcache.Cache.write t.cache ~file:indirect_fid ~index:ino
+        Blockcache.Cache.write ?ctx t.cache ~file:indirect_fid ~index:ino
           ~stamp:(next_meta_stamp t) ~len:t.block_size `Sync
   | (`Sync | `Async | `Delayed), _ ->
-      Blockcache.Cache.write t.cache ~file:inode_table_fid
+      Blockcache.Cache.write ?ctx t.cache ~file:inode_table_fid
         ~index:(inode_block_index ino) ~stamp:(next_meta_stamp t)
         ~len:t.block_size `Delayed;
       if index >= direct_blocks then
-        Blockcache.Cache.write t.cache ~file:indirect_fid ~index:ino
+        Blockcache.Cache.write ?ctx t.cache ~file:indirect_fid ~index:ino
           ~stamp:(next_meta_stamp t) ~len:t.block_size `Delayed
 
-let fsync t ino =
+let fsync ?ctx t ino =
   let _ = get_inode t ino in
-  Blockcache.Cache.flush_file t.cache ~file:ino;
-  Blockcache.Cache.flush_file t.cache ~file:inode_table_fid
+  Blockcache.Cache.flush_file ?ctx t.cache ~file:ino;
+  Blockcache.Cache.flush_file ?ctx t.cache ~file:inode_table_fid
 
 let sync_all t = Blockcache.Cache.flush_all t.cache
 

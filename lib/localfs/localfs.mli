@@ -73,46 +73,55 @@ val cache : t -> Blockcache.Cache.t
     write-delay runs (Table 5-5). *)
 val start_syncer : t -> ?min_age:float -> interval:float -> unit -> unit
 
-(** {2 Namespace} *)
+(** {2 Namespace}
+
+    Every operation takes an optional [?ctx] — the causal context of
+    the client operation it serves (see {!Obs.Causal}) — passed down
+    to the buffer cache and disk so their trace spans name the
+    inducing operation. *)
 
 val root : t -> ino
 
 (** One pathname component, as NFS lookup does. *)
-val lookup : t -> dir:ino -> string -> ino
+val lookup : ?ctx:Obs.Causal.t -> t -> dir:ino -> string -> ino
 
-val getattr : t -> ino -> attrs
+val getattr : ?ctx:Obs.Causal.t -> t -> ino -> attrs
 
 (** Truncate / touch. [size] must shrink or extend the file; shrinking
     drops (and cancels writes of) blocks past the new size. *)
-val setattr : t -> ino -> ?size:int -> ?mtime:float -> unit -> unit
+val setattr :
+  ?ctx:Obs.Causal.t -> t -> ino -> ?size:int -> ?mtime:float -> unit -> unit
 
-val create_file : t -> dir:ino -> string -> ino
-val mkdir : t -> dir:ino -> string -> ino
+val create_file : ?ctx:Obs.Causal.t -> t -> dir:ino -> string -> ino
+val mkdir : ?ctx:Obs.Causal.t -> t -> dir:ino -> string -> ino
 
 (** Unlink a file name. Pending delayed writes for the file's data are
     cancelled (they will never be needed). *)
-val remove : t -> dir:ino -> string -> unit
+val remove : ?ctx:Obs.Causal.t -> t -> dir:ino -> string -> unit
 
-val rmdir : t -> dir:ino -> string -> unit
-val rename : t -> fromdir:ino -> string -> todir:ino -> string -> unit
-val readdir : t -> dir:ino -> string list
+val rmdir : ?ctx:Obs.Causal.t -> t -> dir:ino -> string -> unit
+
+val rename :
+  ?ctx:Obs.Causal.t -> t -> fromdir:ino -> string -> todir:ino -> string -> unit
+
+val readdir : ?ctx:Obs.Causal.t -> t -> dir:ino -> string list
 
 (** {2 Data} *)
 
 (** [read_block t ino ~index] returns [(stamp, valid_len)]. Reading a
     hole yields stamp 0. *)
-val read_block : t -> ino -> index:int -> int * int
+val read_block : ?ctx:Obs.Causal.t -> t -> ino -> index:int -> int * int
 
 (** [write_block t ino ~index ~stamp ~len policy] writes one block.
     [`Sync] forces data (and, under the [`Sync] metadata policy, the
     inode) to the disk before returning; [`Async] starts the write and
     returns; [`Delayed] leaves the block dirty in the cache. *)
 val write_block :
-  t -> ino -> index:int -> stamp:int -> len:int ->
+  ?ctx:Obs.Causal.t -> t -> ino -> index:int -> stamp:int -> len:int ->
   [ `Sync | `Async | `Delayed ] -> unit
 
 (** Force the file's dirty data and metadata to disk. *)
-val fsync : t -> ino -> unit
+val fsync : ?ctx:Obs.Causal.t -> t -> ino -> unit
 
 (** Flush everything dirty (umount / shutdown). *)
 val sync_all : t -> unit

@@ -40,7 +40,14 @@ let budget ?(initial_backoff = 0.5) ?(max_backoff = 30.0) give_up_after =
 
 type reply = { data : bytes; bulk : int }
 
-type handler = caller:Net.Host.t -> proc:string -> Xdr.Dec.t -> reply
+(* [ctx] is the causal context of the client operation this request
+   serves (Obs.Causal.none for background traffic). It rides the
+   request like [caller] does — an explicit field of the simulated
+   wire header, never ambient state — so handlers can tag the work
+   they do, and the work they induce, with the operation that caused
+   it. *)
+type handler =
+  caller:Net.Host.t -> ctx:Obs.Causal.t -> proc:string -> Xdr.Dec.t -> reply
 
 (* Duplicate-request cache, direct-mapped by xid like the bounded
    "recent request cache" of real NFS servers. xids come from the
@@ -195,7 +202,7 @@ let note_duplicate svc ~trace_name ~pname ~xid =
 
 (* Runs on the server when a request message arrives. [reply_to] sends a
    reply back along the path of this particular request message. *)
-let handle_request t svc info ~caller ~xid ~proc ~args ~bulk ~reply_to =
+let handle_request t svc info ~caller ~ctx ~xid ~proc ~args ~bulk ~reply_to =
   (* volatile server state does not survive a reboot *)
   let epoch = Net.Host.boot_epoch svc.host in
   if epoch <> svc.epoch_seen then begin
@@ -219,6 +226,7 @@ let handle_request t svc info ~caller ~xid ~proc ~args ~bulk ~reply_to =
     if svc.drc_xid.(slot) = -1 then svc.drc_used <- svc.drc_used + 1;
     svc.drc_xid.(slot) <- xid;
     svc.drc_reply.(slot) <- None;
+    let arrival = server_now svc in
     Sim.Engine.spawn (Net.Host.engine svc.host) ~name:info.pname
       (* one spawned task per executed request is the DRC's budgeted cost;
          duplicates were filtered above — snfs-lint: allow hot-alloc *)
@@ -241,11 +249,18 @@ let handle_request t svc info ~caller ~xid ~proc ~args ~bulk ~reply_to =
                     ]
                   "rpc_server_calls_total";
               let sp =
-                if Obs.Trace.on () then
+                if Obs.Trace.on () && Obs.Causal.keep ctx then
+                  (* [queued] = dispatch-to-thread wait, so the analyzer
+                     can split server queueing from server compute *)
                   Obs.Trace.span ~ts:(server_now svc) ~cat:"rpc"
                     ~name:("exec " ^ svc.prog ^ "." ^ proc)
                     ~track:(Net.Host.name svc.host)
-                    ~args:[ ("xid", Obs.Trace.Int xid) ]
+                    ~args:
+                      (Obs.Causal.arg ctx
+                         [
+                           ("xid", Obs.Trace.Int xid);
+                           ("queued", Obs.Trace.Float (server_now svc -. arrival));
+                         ])
                     ()
                 else Obs.Trace.none
               in
@@ -253,7 +268,7 @@ let handle_request t svc info ~caller ~xid ~proc ~args ~bulk ~reply_to =
                 (t.config.server_cpu_per_call
                 +. payload_cpu t (Bytes.length args + bulk));
               let reply =
-                svc.handler ~caller ~proc (Xdr.Dec.of_bytes args)
+                svc.handler ~caller ~ctx ~proc (Xdr.Dec.of_bytes args)
               in
               Net.Host.use_cpu svc.host
                 (payload_cpu t (Bytes.length reply.data + reply.bulk));
@@ -273,7 +288,7 @@ let handle_request t svc info ~caller ~xid ~proc ~args ~bulk ~reply_to =
    default client-side schedule (~63 s) would time the opener out. *)
 let impatient config = { config with retries = 4 }
 
-let call_once t config ~src ~dst ~prog ~proc ~bulk args =
+let call_once t config ~ctx ~src ~dst ~prog ~proc ~bulk args =
   let engine = Net.engine t.net in
   let xid = t.next_xid in
   t.next_xid <- xid + 1;
@@ -299,12 +314,13 @@ let call_once t config ~src ~dst ~prog ~proc ~bulk args =
   let issued = Sim.Engine.now engine in
   let track = Net.Host.name src in
   let sp =
-    if Obs.Trace.on () then
+    if Obs.Trace.on () && Obs.Causal.keep ctx then
       Obs.Trace.span ~ts:issued ~cat:"rpc" ~name:(prog ^ "." ^ proc) ~track
         ~args:
-          [ ("xid", Obs.Trace.Int xid);
-            ("dst", Obs.Trace.Str (Net.Host.name dst));
-            ("bytes", Obs.Trace.Int (Bytes.length args + bulk)) ]
+          (Obs.Causal.arg ctx
+             [ ("xid", Obs.Trace.Int xid);
+               ("dst", Obs.Trace.Str (Net.Host.name dst));
+               ("bytes", Obs.Trace.Int (Bytes.length args + bulk)) ])
         ()
     else Obs.Trace.none
   in
@@ -328,7 +344,7 @@ let call_once t config ~src ~dst ~prog ~proc ~bulk args =
       ~deliver:(fun () ->
         match (svc, info) with
         | Some svc, Some info ->
-            handle_request t svc info ~caller:src ~xid ~proc ~args ~bulk
+            handle_request t svc info ~caller:src ~ctx ~xid ~proc ~args ~bulk
               ~reply_to
         | _ -> () (* no such program: silence, client times out *))
   in
@@ -408,10 +424,11 @@ let call_once t config ~src ~dst ~prog ~proc ~bulk args =
       t.in_flight <- t.in_flight - 1;
       raise e
 
-let call t ?config ~src ~dst ~prog ~proc ?budget:b ?(bulk = 0) args =
+let call t ?config ?(ctx = Obs.Causal.none) ~src ~dst ~prog ~proc ?budget:b
+    ?(bulk = 0) args =
   let config = match config with Some c -> c | None -> t.config in
   match b with
-  | None -> call_once t config ~src ~dst ~prog ~proc ~bulk args
+  | None -> call_once t config ~ctx ~src ~dst ~prog ~proc ~bulk args
   | Some b ->
       (* each round is a complete call (fresh xid, its own span and
          latency record); between rounds the caller sleeps out a
@@ -421,7 +438,7 @@ let call t ?config ~src ~dst ~prog ~proc ?budget:b ?(bulk = 0) args =
       let started = Sim.Engine.now engine in
       let track = Net.Host.name src in
       let rec go backoff =
-        match call_once t config ~src ~dst ~prog ~proc ~bulk args with
+        match call_once t config ~ctx ~src ~dst ~prog ~proc ~bulk args with
         | data -> data
         | exception Timeout _ ->
             let waited = Sim.Engine.now engine -. started in

@@ -63,7 +63,13 @@ val budget : ?initial_backoff:float -> ?max_backoff:float -> float -> budget
     payload bytes (file data) that count toward message size. *)
 type reply = { data : bytes; bulk : int }
 
-type handler = caller:Net.Host.t -> proc:string -> Xdr.Dec.t -> reply
+(** [ctx] is the causal context of the client operation this request
+    serves ({!Obs.Causal.none} for background traffic) — an explicit
+    field of the simulated request header, threaded rather than
+    ambient, so handlers tag their work (and the work they induce)
+    with the inducing operation. *)
+type handler =
+  caller:Net.Host.t -> ctx:Obs.Causal.t -> proc:string -> Xdr.Dec.t -> reply
 
 type service
 
@@ -111,10 +117,16 @@ val thread_pool : service -> Sim.Semaphore.t
     merely lost can be re-executed at the server (within one round the
     duplicate-request cache still deduplicates retransmissions):
     budgeted calls should be idempotent, which NFS-style procedures
-    are. *)
+    are.
+
+    [?ctx] (default {!Obs.Causal.none}) is the issuing operation's
+    causal context: it tags the call's client span, rides the request
+    to the server handler, and suppresses the call's spans entirely
+    when the operation was sampled out. *)
 val call :
   t ->
   ?config:config ->
+  ?ctx:Obs.Causal.t ->
   src:Net.Host.t ->
   dst:Net.Host.t ->
   prog:string ->

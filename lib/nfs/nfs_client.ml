@@ -44,9 +44,11 @@ type t = {
 
 let block_size = 4096
 
-let call t ~proc ?bulk args =
-  Netsim.Rpc.call t.rpc ~src:t.client ~dst:t.server ~prog:Nfs_server.prog ~proc
-    ?budget:t.budget ?bulk args
+(* Partially applied as [call t ctx] to make a {!Wire.call} stub that
+   stamps every RPC of one client operation with its causal context. *)
+let call t ctx ~proc ?bulk args =
+  Netsim.Rpc.call t.rpc ~ctx ~src:t.client ~dst:t.server
+    ~prog:Nfs_server.prog ~proc ?budget:t.budget ?bulk args
 
 let gnode t ino =
   match Hashtbl.find_opt t.gnodes ino with
@@ -56,6 +58,15 @@ let gnode t ino =
 let fh_of t (g : gnode) = { Wire.fsid = t.root.Wire.fsid; ino = g.g_ino; gen = g.g_gen }
 
 let now t = Sim.Engine.now t.engine
+
+(* Run one GFS operation under a fresh causal root (see
+   {!Obs.Causal.root}): [f] receives the minted context and threads it
+   through every RPC, cache and disk touch the operation makes. *)
+let op t name f =
+  Obs.Causal.root
+    ~now:(fun () -> now t)
+    ~track:(Netsim.Net.Host.name t.client)
+    ~name f
 
 let proto_event t name args =
   if Obs.Trace.on () then
@@ -93,7 +104,7 @@ let note_attrs ?(probe = true) t (attrs : Localfs.attrs) =
 
 (* data-cache consistency: a changed mtime means another client (or a
    local truncate) modified the file; drop our copy *)
-let check_mtime t g =
+let check_mtime ?ctx t g =
   if g.g_attrs.Localfs.mtime <> g.g_cached_mtime then begin
     if Obs.Metrics.on () then
       Obs.Metrics.incr
@@ -101,7 +112,7 @@ let check_mtime t g =
         "nfs_mtime_invalidations_total";
     proto_event t "mtime_invalidate" [ ("ino", Obs.Trace.Int g.g_ino) ];
     (* our own delayed partial blocks must not be lost *)
-    Blockcache.Cache.flush_file t.cache ~file:g.g_ino;
+    Blockcache.Cache.flush_file ?ctx t.cache ~file:g.g_ino;
     Blockcache.Cache.wait_pending t.cache ~file:g.g_ino;
     Blockcache.Cache.invalidate_file t.cache ~file:g.g_ino;
     g.g_cached_mtime <- g.g_attrs.Localfs.mtime
@@ -113,7 +124,7 @@ let attr_timeout t g =
   let age = g.g_fetched -. g.g_attrs.Localfs.mtime in
   Float.max t.config.attr_min (Float.min t.config.attr_max (age /. 2.0))
 
-let refresh_attrs t g =
+let refresh_attrs ?(ctx = Obs.Causal.none) t g =
   if now t -. g.g_fetched > attr_timeout t g then begin
     t.attr_probes <- t.attr_probes + 1;
     if Obs.Metrics.on () then
@@ -121,10 +132,10 @@ let refresh_attrs t g =
         ~labels:[ ("host", Netsim.Net.Host.name t.client) ]
         "nfs_attr_probes_total";
     proto_event t "attr_probe" [ ("ino", Obs.Trace.Int g.g_ino) ];
-    let attrs = Wire.getattr (call t) (fh_of t g) in
+    let attrs = Wire.getattr (call t ctx) (fh_of t g) in
     g.g_attrs <- attrs;
     g.g_fetched <- now t;
-    check_mtime t g
+    check_mtime ~ctx t g
   end
 
 (* ---- GFS operations ---- *)
@@ -135,27 +146,31 @@ let vn_of t (g : gnode) =
   | None -> assert false
 
 let do_lookup t ~dir name =
+  op t "lookup" @@ fun ctx ->
   let dirg = gnode t dir.Vfs.Fs.vid in
-  let _fh, attrs = Wire.lookup (call t) ~dir:(fh_of t dirg) name in
+  let _fh, attrs = Wire.lookup (call t ctx) ~dir:(fh_of t dirg) name in
   let g = note_attrs ~probe:false t attrs in
-  check_mtime t g;
+  check_mtime ~ctx t g;
   vn_of t g
 
 let do_root t () =
   match Hashtbl.find_opt t.gnodes t.root.Wire.ino with
   | Some g -> vn_of t g
   | None ->
-      let attrs = Wire.getattr (call t) t.root in
+      op t "root" @@ fun ctx ->
+      let attrs = Wire.getattr (call t ctx) t.root in
       vn_of t (note_attrs t attrs)
 
 let do_create t ~dir name =
+  op t "create" @@ fun ctx ->
   let dirg = gnode t dir.Vfs.Fs.vid in
-  let _fh, attrs = Wire.create (call t) ~dir:(fh_of t dirg) name in
+  let _fh, attrs = Wire.create (call t ctx) ~dir:(fh_of t dirg) name in
   vn_of t (note_attrs t attrs)
 
 let do_mkdir t ~dir name =
+  op t "mkdir" @@ fun ctx ->
   let dirg = gnode t dir.Vfs.Fs.vid in
-  let _fh, attrs = Wire.mkdir (call t) ~dir:(fh_of t dirg) name in
+  let _fh, attrs = Wire.mkdir (call t ctx) ~dir:(fh_of t dirg) name in
   vn_of t (note_attrs t attrs)
 
 let forget t ino =
@@ -164,44 +179,52 @@ let forget t ino =
   Hashtbl.remove t.gnodes ino
 
 let do_remove t ~dir name =
+  op t "remove" @@ fun ctx ->
   let dirg = gnode t dir.Vfs.Fs.vid in
   (* the blocks are already on their way to the server (write-through);
      all we can do is drop our copy *)
-  (match Wire.lookup (call t) ~dir:(fh_of t dirg) name with
+  (match Wire.lookup (call t ctx) ~dir:(fh_of t dirg) name with
   | fh, _ -> forget t fh.Wire.ino
   | exception Localfs.Error _ -> ());
-  Wire.remove (call t) ~dir:(fh_of t dirg) name
+  Wire.remove (call t ctx) ~dir:(fh_of t dirg) name
 
 let do_rmdir t ~dir name =
+  op t "rmdir" @@ fun ctx ->
   let dirg = gnode t dir.Vfs.Fs.vid in
-  Wire.rmdir (call t) ~dir:(fh_of t dirg) name
+  Wire.rmdir (call t ctx) ~dir:(fh_of t dirg) name
 
 let do_rename t ~fromdir fname ~todir tname =
+  op t "rename" @@ fun ctx ->
   let fg = gnode t fromdir.Vfs.Fs.vid in
   let tg = gnode t todir.Vfs.Fs.vid in
-  Wire.rename (call t) ~fromdir:(fh_of t fg) fname ~todir:(fh_of t tg) tname
+  Wire.rename (call t ctx) ~fromdir:(fh_of t fg) fname ~todir:(fh_of t tg)
+    tname
 
 let do_readdir t vn =
+  op t "readdir" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
-  Wire.readdir (call t) (fh_of t g)
+  Wire.readdir (call t ctx) (fh_of t g)
 
 let do_getattr t vn =
+  op t "getattr" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
-  refresh_attrs t g;
+  refresh_attrs ~ctx t g;
   g.g_attrs
 
 let do_setattr t vn ~size =
+  op t "setattr" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
   (* truncation: our cached blocks (including delayed partials) are
      moot *)
   Blockcache.Cache.wait_pending t.cache ~file:g.g_ino;
   ignore (Blockcache.Cache.cancel_dirty t.cache ~file:g.g_ino);
-  let attrs = Wire.setattr (call t) (fh_of t g) ~size in
+  let attrs = Wire.setattr (call t ctx) (fh_of t g) ~size in
   g.g_attrs <- attrs;
   g.g_fetched <- now t;
   g.g_cached_mtime <- attrs.Localfs.mtime
 
 let do_open t vn _mode =
+  op t "open" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
   g.g_opens <- g.g_opens + 1;
   proto_event t "open" [ ("ino", Obs.Trace.Int g.g_ino) ];
@@ -210,9 +233,10 @@ let do_open t vn _mode =
   g.g_last_read <- -1;
   (* the consistency check made at every open (Section 2.1) — free if
      the attribute cache entry is still fresh *)
-  refresh_attrs t g
+  refresh_attrs ~ctx t g
 
 let do_close t vn _mode =
+  op t "close" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
   g.g_opens <- g.g_opens - 1;
   proto_event t "close"
@@ -222,7 +246,7 @@ let do_close t vn _mode =
     ];
   (* synchronously finish all pending write-throughs (Section 2.1):
      flush delayed partial blocks, then drain the write-behind daemon *)
-  Blockcache.Cache.flush_file t.cache ~file:g.g_ino;
+  Blockcache.Cache.flush_file ~ctx t.cache ~file:g.g_ino;
   Blockcache.Cache.wait_pending t.cache ~file:g.g_ino;
   if t.config.invalidate_on_close then
     (* the measured Ultrix client's bug (Section 5.2): it threw the
@@ -230,11 +254,12 @@ let do_close t vn _mode =
     Blockcache.Cache.invalidate_file t.cache ~file:g.g_ino
 
 let do_read_block t vn ~index =
+  op t "read" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
-  refresh_attrs t g;
+  refresh_attrs ~ctx t g;
   if index * block_size >= g.g_attrs.Localfs.size then (0, 0)
   else begin
-    let result = Blockcache.Cache.read t.cache ~file:g.g_ino ~index in
+    let result = Blockcache.Cache.read ~ctx t.cache ~file:g.g_ino ~index in
     (* one-block read-ahead on sequential access *)
     if
       t.config.read_ahead
@@ -249,19 +274,21 @@ let do_read_block t vn ~index =
   end
 
 let do_write_block t vn ~index ~stamp ~len =
+  op t "write" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
   (* full blocks go to the write-behind daemon at once; partial blocks
      are delayed in hope of being filled (footnote 4) *)
   let mode = if len >= block_size then `Async else `Delayed in
-  Blockcache.Cache.write t.cache ~file:g.g_ino ~index ~stamp ~len mode;
+  Blockcache.Cache.write ~ctx t.cache ~file:g.g_ino ~index ~stamp ~len mode;
   (* optimistic local size/mtime; authoritative values return on the
      write replies *)
   let size = max g.g_attrs.Localfs.size ((index * block_size) + len) in
   g.g_attrs <- { g.g_attrs with Localfs.size }
 
 let do_fsync t vn =
+  op t "fsync" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
-  Blockcache.Cache.flush_file t.cache ~file:g.g_ino;
+  Blockcache.Cache.flush_file ~ctx t.cache ~file:g.g_ino;
   Blockcache.Cache.wait_pending t.cache ~file:g.g_ino
 
 let mount rpc ~client ~server ~root ?(config = default_config) ?(name = "nfs")
@@ -272,15 +299,17 @@ let mount rpc ~client ~server ~root ?(config = default_config) ?(name = "nfs")
       (let backend =
          {
            Blockcache.Cache.read_block =
-             (fun ~file ~index ->
+             (fun ~ctx ~file ~index ->
                let tt = Lazy.force t in
                let g = gnode tt file in
-               Wire.read (call tt) (fh_of tt g) ~index);
+               Wire.read (call tt ctx) (fh_of tt g) ~index);
            write_block =
-             (fun ~file ~index ~stamp ~len ->
+             (fun ~ctx ~file ~index ~stamp ~len ->
                let tt = Lazy.force t in
                let g = gnode tt file in
-               match Wire.write (call tt) (fh_of tt g) ~index ~stamp ~len with
+               match
+                 Wire.write (call tt ctx) (fh_of tt g) ~index ~stamp ~len
+               with
                | attrs ->
                    (* keep the attribute cache in step with our own
                       writes, so they do not look like someone else's

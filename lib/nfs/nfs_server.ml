@@ -8,9 +8,10 @@ type t = {
 
 let serve rpc host ?(threads = 4) ~fsid fs =
   let core = Wire.make_server_core ~fsid fs () in
-  let handler ~caller ~proc dec =
+  let handler ~caller ~ctx ~proc dec =
     match
-      Wire.handle_basic core ~caller:(Netsim.Net.Host.addr caller) ~proc dec
+      Wire.handle_basic core ~caller:(Netsim.Net.Host.addr caller) ~ctx ~proc
+        dec
     with
     | Some reply -> reply
     | None ->

@@ -197,27 +197,41 @@ let snfs_close (call : call) fh ~write_mode =
   let d = Xdr.Dec.of_bytes (call ~proc:p_close (Xdr.Enc.to_bytes e)) in
   check d
 
-type callback_args = { cb_fh : fh; cb_writeback : bool; cb_invalidate : bool }
+(* [cb_ctx] is the causal context of the client operation that induced
+   this callback (0 = none): the receiving client tags the work it does
+   on the callback's behalf with the inducing operation, closing the
+   cross-host causal chain. *)
+type callback_args = {
+  cb_fh : fh;
+  cb_writeback : bool;
+  cb_invalidate : bool;
+  cb_ctx : int;
+}
 
-let enc_callback e { cb_fh; cb_writeback; cb_invalidate } =
+let enc_callback e { cb_fh; cb_writeback; cb_invalidate; cb_ctx } =
   enc_fh e cb_fh;
   Xdr.Enc.bool e cb_writeback;
-  Xdr.Enc.bool e cb_invalidate
+  Xdr.Enc.bool e cb_invalidate;
+  Xdr.Enc.ctx e cb_ctx
 
 let dec_callback d =
   let cb_fh = dec_fh d in
   let cb_writeback = Xdr.Dec.bool d in
   let cb_invalidate = Xdr.Dec.bool d in
-  { cb_fh; cb_writeback; cb_invalidate }
+  let cb_ctx = Xdr.Dec.ctx d in
+  { cb_fh; cb_writeback; cb_invalidate; cb_ctx }
 
 (* ---- server core ---- *)
 
+(* Hooks receive [ctx], the causal context of the triggering client
+   operation, so consistency actions they induce (RFS invalidations)
+   can be attributed to it. *)
 type server_core = {
   fsid : int;
   fs : Localfs.t;
-  on_read : (ino:int -> caller:int -> unit) option;
-  on_write : (ino:int -> caller:int -> unit) option;
-  on_remove : (ino:int -> unit) option;
+  on_read : (ino:int -> caller:int -> ctx:Obs.Causal.t -> unit) option;
+  on_write : (ino:int -> caller:int -> ctx:Obs.Causal.t -> unit) option;
+  on_remove : (ino:int -> ctx:Obs.Causal.t -> unit) option;
 }
 
 let make_server_core ~fsid fs ?on_read ?on_write ?on_remove () =
@@ -245,14 +259,14 @@ let check_fh c (fh : fh) =
 
 let with_errors f = try f () with Localfs.Error err -> error_reply err
 
-let fh_attrs_reply c ino =
-  let attrs = Localfs.getattr c.fs ino in
+let fh_attrs_reply ~ctx c ino =
+  let attrs = Localfs.getattr ~ctx c.fs ino in
   let e = ok_enc () in
   enc_fh e { fsid = c.fsid; ino; gen = attrs.Localfs.gen };
   enc_attrs e attrs;
   reply_of e
 
-let handle_basic c ~caller ~proc d =
+let handle_basic c ~caller ~ctx ~proc d =
   let fs = c.fs in
   let handler () =
     with_errors @@ fun () ->
@@ -260,12 +274,12 @@ let handle_basic c ~caller ~proc d =
       let dir = dec_fh d in
       check_fh c dir;
       let name = Xdr.Dec.string d in
-      fh_attrs_reply c (Localfs.lookup fs ~dir:dir.ino name)
+      fh_attrs_reply ~ctx c (Localfs.lookup ~ctx fs ~dir:dir.ino name)
     end
     else if proc = p_getattr then begin
       let fh = dec_fh d in
       check_fh c fh;
-      let attrs = Localfs.getattr fs fh.ino in
+      let attrs = Localfs.getattr ~ctx fs fh.ino in
       let e = ok_enc () in
       enc_attrs e attrs;
       reply_of e
@@ -274,8 +288,8 @@ let handle_basic c ~caller ~proc d =
       let fh = dec_fh d in
       check_fh c fh;
       let size = Xdr.Dec.uint32 d in
-      Localfs.setattr fs fh.ino ~size ();
-      let attrs = Localfs.getattr fs fh.ino in
+      Localfs.setattr ~ctx fs fh.ino ~size ();
+      let attrs = Localfs.getattr ~ctx fs fh.ino in
       let e = ok_enc () in
       enc_attrs e attrs;
       reply_of e
@@ -284,9 +298,9 @@ let handle_basic c ~caller ~proc d =
       let fh = dec_fh d in
       check_fh c fh;
       let index = Xdr.Dec.uint32 d in
-      let stamp, len = Localfs.read_block fs fh.ino ~index in
+      let stamp, len = Localfs.read_block ~ctx fs fh.ino ~index in
       (match c.on_read with
-      | Some f -> f ~ino:fh.ino ~caller
+      | Some f -> f ~ino:fh.ino ~caller ~ctx
       | None -> ());
       let e = ok_enc () in
       Xdr.Enc.uint32 e stamp;
@@ -301,11 +315,11 @@ let handle_basic c ~caller ~proc d =
       let stamp = Xdr.Dec.uint32 d in
       let len = Xdr.Dec.uint32 d in
       (* stable storage before replying *)
-      Localfs.write_block fs fh.ino ~index ~stamp ~len `Sync;
+      Localfs.write_block ~ctx fs fh.ino ~index ~stamp ~len `Sync;
       (match c.on_write with
-      | Some f -> f ~ino:fh.ino ~caller
+      | Some f -> f ~ino:fh.ino ~caller ~ctx
       | None -> ());
-      let attrs = Localfs.getattr fs fh.ino in
+      let attrs = Localfs.getattr ~ctx fs fh.ino in
       let e = ok_enc () in
       enc_attrs e attrs;
       reply_of e
@@ -314,28 +328,28 @@ let handle_basic c ~caller ~proc d =
       let dir = dec_fh d in
       check_fh c dir;
       let name = Xdr.Dec.string d in
-      fh_attrs_reply c (Localfs.create_file fs ~dir:dir.ino name)
+      fh_attrs_reply ~ctx c (Localfs.create_file ~ctx fs ~dir:dir.ino name)
     end
     else if proc = p_mkdir then begin
       let dir = dec_fh d in
       check_fh c dir;
       let name = Xdr.Dec.string d in
-      fh_attrs_reply c (Localfs.mkdir fs ~dir:dir.ino name)
+      fh_attrs_reply ~ctx c (Localfs.mkdir ~ctx fs ~dir:dir.ino name)
     end
     else if proc = p_remove then begin
       let dir = dec_fh d in
       check_fh c dir;
       let name = Xdr.Dec.string d in
-      let ino = Localfs.lookup fs ~dir:dir.ino name in
-      Localfs.remove fs ~dir:dir.ino name;
-      (match c.on_remove with Some f -> f ~ino | None -> ());
+      let ino = Localfs.lookup ~ctx fs ~dir:dir.ino name in
+      Localfs.remove ~ctx fs ~dir:dir.ino name;
+      (match c.on_remove with Some f -> f ~ino ~ctx | None -> ());
       reply_of (ok_enc ())
     end
     else if proc = p_rmdir then begin
       let dir = dec_fh d in
       check_fh c dir;
       let name = Xdr.Dec.string d in
-      Localfs.rmdir fs ~dir:dir.ino name;
+      Localfs.rmdir ~ctx fs ~dir:dir.ino name;
       reply_of (ok_enc ())
     end
     else if proc = p_rename then begin
@@ -345,13 +359,13 @@ let handle_basic c ~caller ~proc d =
       let todir = dec_fh d in
       check_fh c todir;
       let tname = Xdr.Dec.string d in
-      Localfs.rename fs ~fromdir:fromdir.ino fname ~todir:todir.ino tname;
+      Localfs.rename ~ctx fs ~fromdir:fromdir.ino fname ~todir:todir.ino tname;
       reply_of (ok_enc ())
     end
     else if proc = p_readdir then begin
       let fh = dec_fh d in
       check_fh c fh;
-      let names = Localfs.readdir fs ~dir:fh.ino in
+      let names = Localfs.readdir ~ctx fs ~dir:fh.ino in
       let e = ok_enc () in
       Xdr.Enc.array e (Xdr.Enc.string e) names;
       reply_of e

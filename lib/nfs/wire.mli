@@ -89,8 +89,16 @@ type open_reply = {
 val snfs_open : call -> fh -> write_mode:bool -> open_reply
 val snfs_close : call -> fh -> write_mode:bool -> unit
 
-(** Callback arguments (Section 3.2), server-to-client. *)
-type callback_args = { cb_fh : fh; cb_writeback : bool; cb_invalidate : bool }
+(** Callback arguments (Section 3.2), server-to-client. [cb_ctx] is
+    the causal context of the client operation that induced the
+    callback (0 = none), so the receiving client tags the induced work
+    with the inducing operation. *)
+type callback_args = {
+  cb_fh : fh;
+  cb_writeback : bool;
+  cb_invalidate : bool;
+  cb_ctx : int;
+}
 
 val enc_callback : Xdr.Enc.t -> callback_args -> unit
 val dec_callback : Xdr.Dec.t -> callback_args
@@ -104,12 +112,15 @@ val dec_callback : Xdr.Dec.t -> callback_args
 
 type server_core
 
+(** The hooks receive [ctx], the causal context of the triggering
+    client operation, so induced consistency work (RFS invalidations)
+    is attributed to it. *)
 val make_server_core :
   fsid:int ->
   Localfs.t ->
-  ?on_read:(ino:int -> caller:int -> unit) ->
-  ?on_write:(ino:int -> caller:int -> unit) ->
-  ?on_remove:(ino:int -> unit) ->
+  ?on_read:(ino:int -> caller:int -> ctx:Obs.Causal.t -> unit) ->
+  ?on_write:(ino:int -> caller:int -> ctx:Obs.Causal.t -> unit) ->
+  ?on_remove:(ino:int -> ctx:Obs.Causal.t -> unit) ->
   unit ->
   server_core
 
@@ -119,9 +130,16 @@ val core_fs : server_core -> Localfs.t
 (** Root file handle of the served file system. *)
 val root_fh : server_core -> fh
 
-(** [handle_basic core ~caller ~proc dec] executes a basic procedure,
-    or returns [None] if [proc] is not a basic one. Data writes go to
-    the disk synchronously (Section 2.3: "writes are always synchronous
-    with the disk at the server"). *)
+(** [handle_basic core ~caller ~ctx ~proc dec] executes a basic
+    procedure, or returns [None] if [proc] is not a basic one. Data
+    writes go to the disk synchronously (Section 2.3: "writes are
+    always synchronous with the disk at the server"). [ctx] — the
+    request's causal context, from the RPC header — flows down to the
+    file system, buffer cache and disk. *)
 val handle_basic :
-  server_core -> caller:int -> proc:string -> Xdr.Dec.t -> Netsim.Rpc.reply option
+  server_core ->
+  caller:int ->
+  ctx:Obs.Causal.t ->
+  proc:string ->
+  Xdr.Dec.t ->
+  Netsim.Rpc.reply option

@@ -1,0 +1,56 @@
+(** Causal request context.
+
+    A client operation (an [open], [read], [close]...) mints a context
+    at its entry point; every layer it crosses — RPC transport, server
+    dispatch, disk I/O, block caches — and every piece of work it
+    {e induces} on other hosts (SNFS callbacks, RFS invalidations,
+    Kent recalls) carries the context along, tagging its trace spans
+    with the operation id. The context is {b threaded, not ambient}:
+    it travels as an explicit argument (and as a field in the
+    marshalled callback payloads, see {!Nfs.Wire.callback_args}), so
+    determinism and the Domain-isolation story of {!Trace} are
+    untouched.
+
+    The carrier is a bare [int]: 0 = no context ({!none}), -1 =
+    sampled out, positive = the operation id (also the id of the
+    operation's root span). *)
+
+type t = int
+
+(** The empty context: tracing off, or background work no single
+    operation caused. *)
+val none : t
+
+val is_none : t -> bool
+
+(** A real operation id (positive)? *)
+val live : t -> bool
+
+(** May downstream spans be emitted under this context? True for
+    {!none} and live ids; false only for sampled-out operations, so a
+    sampled trace contains only complete operation trees. Probe sites
+    guard with [Trace.on () && Causal.keep ctx]. *)
+val keep : t -> bool
+
+(** The operation id (only meaningful when {!live}). *)
+val id : t -> int
+
+(** Rebuild a context from a marshalled id; non-positive ids collapse
+    to {!none}. *)
+val of_id : int -> t
+
+(** Mint a context for a new client operation: {!none} when tracing is
+    off, the sampled-out marker when the tracer's head sampling drops
+    this operation, a fresh op id otherwise. Allocation-free when
+    tracing is off. *)
+val mint : unit -> t
+
+(** [arg c args] prepends [("op", Int (id c))] when [c] is live. *)
+val arg : t -> (string * Trace.value) list -> (string * Trace.value) list
+
+(** [root ~now ~track ~name f] runs [f ctx] as a root client
+    operation: mints a context and, when the operation is kept, wraps
+    [f] in the operation's root span (cat ["op"], span id = op id).
+    [now] is only consulted while tracing is on. *)
+val root :
+  now:(unit -> float) -> track:string -> name:string -> (t -> 'a) -> 'a

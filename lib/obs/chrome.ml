@@ -4,8 +4,13 @@
    Spans become async "b"/"e" pairs keyed by (cat, id) — unlike "B"/"E"
    duration events they need no per-thread stack discipline, which
    matters because one host runs many simulated processes. Instants
-   become "i" events. Tracks are mapped to tids in order of first
-   appearance, with "M" metadata events carrying the names.
+   become "i" events; flow events become "s"/"f" pairs keyed by the
+   inducing op id (with "bp":"e" so the arrow binds to the enclosing
+   slice), which is how Perfetto draws callback-causality arrows.
+   Tracks are mapped to tids in order of first appearance, with "M"
+   metadata events carrying the names; a "trace_config" metadata entry
+   records the tracer's sample rate and id base so an analyzer can
+   scale sampled numbers back up.
 
    All numbers are printed with fixed formats so equal traces render to
    equal bytes. *)
@@ -67,6 +72,11 @@ let to_string tr =
   let sep () =
     if !first then first := false else Buffer.add_string buf ",\n"
   in
+  sep ();
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"trace_config\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"sample_every\":%d,\"id_base\":%d}}"
+       (Trace.sample_every tr) (Trace.id_base tr));
   List.iter
     (fun (track, tid) ->
       sep ();
@@ -89,11 +99,17 @@ let to_string tr =
         | Trace.Begin -> "b"
         | Trace.End -> "e"
         | Trace.Instant -> "i"
+        | Trace.Flow_start -> "s"
+        | Trace.Flow_end -> "f"
       in
       Buffer.add_string buf (Printf.sprintf ",\"ph\":\"%s\"" ph);
       (match e.kind with
-      | Trace.Begin | Trace.End ->
+      | Trace.Begin | Trace.End | Trace.Flow_start ->
           Buffer.add_string buf (Printf.sprintf ",\"id\":%d" e.id)
+      | Trace.Flow_end ->
+          (* bind the arrow head to the enclosing slice's end *)
+          Buffer.add_string buf
+            (Printf.sprintf ",\"id\":%d,\"bp\":\"e\"" e.id)
       | Trace.Instant -> Buffer.add_string buf ",\"s\":\"t\"");
       Buffer.add_string buf ",\"ts\":";
       add_ts buf e.ts;

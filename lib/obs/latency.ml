@@ -65,30 +65,38 @@ let total_errors t =
 
 let ms seconds = Printf.sprintf "%.3f" (seconds *. 1e3)
 
+(* One row per (procedure, outcome) actually recorded, so a run with
+   timeouts shows where the timed-out calls' waiting went instead of
+   folding them into a bare error count next to the success
+   percentiles. Successes render first for each procedure. *)
 let table t =
-  let zero = Stats.Histogram.create "none" in
   let rows =
-    List.map
+    List.concat_map
       (fun (prog, proc) ->
-        let h =
-          match find t ~prog ~proc Success with Some h -> h | None -> zero
-        in
-        [
-          prog ^ "." ^ proc;
-          string_of_int (Stats.Histogram.count h);
-          string_of_int (errors t ~prog ~proc);
-          ms (Stats.Histogram.mean h);
-          ms (Stats.Histogram.percentile h 50.0);
-          ms (Stats.Histogram.percentile h 90.0);
-          ms (Stats.Histogram.percentile h 99.0);
-          ms (Stats.Histogram.max_value h);
-        ])
+        List.filter_map
+          (fun outcome ->
+            match find t ~prog ~proc outcome with
+            | None -> None
+            | Some h when Stats.Histogram.count h = 0 -> None
+            | Some h ->
+                Some
+                  [
+                    prog ^ "." ^ proc;
+                    outcome_label outcome;
+                    string_of_int (Stats.Histogram.count h);
+                    ms (Stats.Histogram.mean h);
+                    ms (Stats.Histogram.percentile h 50.0);
+                    ms (Stats.Histogram.percentile h 90.0);
+                    ms (Stats.Histogram.percentile h 99.0);
+                    ms (Stats.Histogram.max_value h);
+                  ])
+          [ Success; Timeout ])
       (procs t)
   in
   Stats.Table.render
     ~header:
       [
-        "procedure"; "n"; "err"; "mean ms"; "p50 ms"; "p90 ms"; "p99 ms";
+        "procedure"; "outcome"; "n"; "mean ms"; "p50 ms"; "p90 ms"; "p99 ms";
         "max ms";
       ]
     rows

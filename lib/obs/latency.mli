@@ -5,8 +5,8 @@
     under {!Success}, calls that exhausted their retransmission
     schedule under {!Timeout} — and {!table} renders the per-procedure
     percentile summary (the "where does the time go" companion to the
-    paper's operation-count tables), with an error column so
-    fault-injection runs show tail behaviour. *)
+    paper's operation-count tables), broken down by outcome so
+    fault-injection runs show where the timed-out calls waited. *)
 
 type t
 
@@ -53,6 +53,8 @@ val total_samples : t -> int
 (** Timed-out samples across all procedures. *)
 val total_errors : t -> int
 
-(** Plain-text table: procedure, n (successes), err (timeouts), and
-    mean/p50/p90/p99/max of the successful calls in ms. *)
+(** Plain-text table with one row per (procedure, outcome) recorded:
+    procedure, outcome (ok/timeout), n, and mean/p50/p90/p99/max of
+    that outcome's calls in ms — so timed-out calls get their own
+    latency row instead of sharing the success row as a bare count. *)
 val table : t -> string

@@ -23,9 +23,59 @@ type t = {
   tbl : (key, instrument) Hashtbl.t;
   mutable order : key list; (* registration order, newest first *)
   mutable sampling : sampling option;
+  (* Observability budget: at most [label_budget] distinct values per
+     (metric name, label key); later values fold into "other". The
+     admitted sets live here, keyed by (name, label key). *)
+  label_budget : int option;
+  label_values : (string * string, (string, unit) Hashtbl.t) Hashtbl.t;
 }
 
-let create () = { tbl = Hashtbl.create 64; order = []; sampling = None }
+let create ?label_budget () =
+  (match label_budget with
+  | Some k when k < 1 ->
+      invalid_arg "Metrics.create: label_budget must be >= 1"
+  | Some _ | None -> ());
+  {
+    tbl = Hashtbl.create 64;
+    order = [];
+    sampling = None;
+    label_budget;
+    label_values = Hashtbl.create 16;
+  }
+
+let label_budget t = t.label_budget
+
+(* The fold-over name every overflowing label value collapses to. *)
+let other = "other"
+
+(* Apply the label budget: the first [k] distinct values seen for a
+   (name, label key) pair are admitted — in registration order, so the
+   policy is deterministic for a deterministic workload — and every
+   later value is rewritten to [other]. Sets [folded] when a rewrite
+   happened (register_poll aggregates folded polls by summing). *)
+let fold_labels t name labels k folded =
+  List.map
+    (fun ((key, v) as pair) ->
+      if String.equal v other then pair
+      else
+        let seen =
+          match Hashtbl.find_opt t.label_values (name, key) with
+          | Some s -> s
+          | None ->
+              let s = Hashtbl.create 8 in
+              Hashtbl.replace t.label_values (name, key) s;
+              s
+        in
+        if Hashtbl.mem seen v then pair
+        else if Hashtbl.length seen < k then begin
+          Hashtbl.add seen v ();
+          pair
+        end
+        else begin
+          folded := true;
+          (key, other)
+        end)
+    labels
 
 (* The installed registry. A single mutable slot, exactly like
    Trace's: the disabled case is one load-and-compare per probe site.
@@ -80,7 +130,7 @@ let kind_name = function
   | Poll _ -> "polled gauge"
   | Hist _ -> "histogram"
 
-let find_or_add t name labels make =
+let find_or_add_raw t name labels make =
   let key = (name, norm labels) in
   match Hashtbl.find_opt t.tbl key with
   | Some i -> i
@@ -89,6 +139,15 @@ let find_or_add t name labels make =
       Hashtbl.replace t.tbl key i;
       t.order <- key :: t.order;
       i
+
+(* the no-budget case — every probe site with metrics on but no
+   budget configured — must not pay for folding *)
+let find_or_add t name labels make =
+  match t.label_budget with
+  | None -> find_or_add_raw t name labels make
+  | Some k ->
+      let folded = ref false in
+      find_or_add_raw t name (fold_labels t name labels k folded) make
 
 let clash name i want =
   invalid_arg
@@ -134,10 +193,23 @@ let register_poll ?(labels = []) ?(cumulative = false) name f =
   match current () with
   | None -> ()
   | Some t -> (
+      let folded = ref false in
+      let labels =
+        match t.label_budget with
+        | None -> labels
+        | Some k -> fold_labels t name labels k folded
+      in
       match
-        find_or_add t name labels (fun () -> Poll { f; cumulative })
+        find_or_add_raw t name labels (fun () -> Poll { f; cumulative })
       with
-      | Poll p -> p.f <- f (* last registration wins *)
+      | Poll p ->
+          if !folded && p.f != f then begin
+            (* distinct sources folded onto one "other" series report
+               their sum, not whichever registered last *)
+            let prev = p.f in
+            p.f <- (fun () -> prev () +. f ())
+          end
+          else p.f <- f (* last registration wins *)
       | i -> clash name i "polled gauge")
 
 (* ---- reading ---- *)
@@ -154,6 +226,7 @@ let gauge_value t ?(labels = []) name =
   | _ -> 0.0
 
 let sorted_keys t = List.sort compare t.order
+let series_count t = List.length t.order
 
 let counters_with t name =
   List.filter_map

@@ -30,7 +30,22 @@ type t
     matters. *)
 type labels = (string * string) list
 
-val create : unit -> t
+(** [create ()] makes an unbounded registry. [label_budget] caps the
+    registry's cardinality for fleet-scale runs: at most
+    [label_budget] distinct values are admitted per (metric name,
+    label key) — first come, first kept, which is deterministic for a
+    deterministic workload — and every later value folds into the
+    ["other"] aggregate. Counters and histograms folded together
+    accumulate naturally; polled gauges folded onto one ["other"]
+    series report their sum. *)
+val create : ?label_budget:int -> unit -> t
+
+(** The configured budget, if any. *)
+val label_budget : t -> int option
+
+(** Registered series (instrument) count — what the label budget
+    bounds. *)
+val series_count : t -> int
 
 (** {1 Global slot} *)
 

@@ -1,6 +1,6 @@
 type value = Str of string | Int of int | Float of float | Bool of bool
 
-type kind = Begin | End | Instant
+type kind = Begin | End | Instant | Flow_start | Flow_end
 
 type event = {
   ts : float;
@@ -16,9 +16,32 @@ type t = {
   mutable events : event list; (* newest first *)
   mutable next_span : int;
   mutable count : int;
+  mutable live : int; (* length of [events], for ring truncation *)
+  id_base : int;
+  sample_every : int;
+  limit : int; (* 0 = unbounded; otherwise keep the newest [limit] *)
+  mutable next_op : int; (* operation ordinal, drives head sampling *)
 }
 
-let create () = { events = []; next_span = 1; count = 0 }
+let create ?(id_base = 0) ?(sample_every = 1) ?(limit = 0) () =
+  if id_base < 0 then invalid_arg "Trace.create: id_base must be >= 0";
+  if sample_every < 1 then
+    invalid_arg "Trace.create: sample_every must be >= 1";
+  if limit < 0 then invalid_arg "Trace.create: limit must be >= 0";
+  {
+    events = [];
+    next_span = id_base + 1;
+    count = 0;
+    live = 0;
+    id_base;
+    sample_every;
+    limit;
+    next_op = 0;
+  }
+
+let id_base t = t.id_base
+let sample_every t = t.sample_every
+let limit t = t.limit
 
 (* The installed tracer. A single mutable slot (rather than a tracer
    threaded through every constructor) keeps the disabled case to one
@@ -59,14 +82,46 @@ let on () =
   Atomic.get installed_domains > 0
   && match Domain.DLS.get slot with None -> false | Some _ -> true
 
+(* Keep the newest [limit] events. The list is newest-first, so the
+   flight-recorder ring is a prefix; truncation runs once per [limit]
+   emits (amortized O(1)) rather than on every emit. *)
+let truncate tr =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | e :: rest -> e :: take (n - 1) rest
+  in
+  tr.events <- take tr.limit tr.events;
+  tr.live <- tr.limit
+
 let emit tr ev =
   tr.events <- ev :: tr.events;
-  tr.count <- tr.count + 1
+  tr.count <- tr.count + 1;
+  if tr.limit > 0 then begin
+    tr.live <- tr.live + 1;
+    if tr.live >= 2 * tr.limit then truncate tr
+  end
 
 let instant ?(track = "sim") ?(args = []) ~ts ~cat ~name () =
   match current () with
   | None -> ()
   | Some tr -> emit tr { ts; cat; name; kind = Instant; track; id = 0; args }
+
+(* Head-based sampling happens at mint time, on the operation ordinal:
+   an operation is either fully traced or fully dropped, so sampled
+   trees are always complete. 0 means "no tracer"; -1 means "sampled
+   out" (downstream probe sites must then skip emission). *)
+let mint_op tr =
+  let ordinal = tr.next_op in
+  tr.next_op <- ordinal + 1;
+  if tr.sample_every > 1 && ordinal mod tr.sample_every <> 0 then -1
+  else begin
+    let id = tr.next_span in
+    tr.next_span <- id + 1;
+    id
+  end
+
+let mint () = match current () with None -> 0 | Some tr -> mint_op tr
 
 type span =
   | No_span
@@ -83,6 +138,15 @@ let span ?(track = "sim") ?(args = []) ~ts ~cat ~name () =
       emit tr { ts; cat; name; kind = Begin; track; id; args };
       Span { tracer = tr; id; cat; name; track }
 
+(* A span under a caller-chosen id (the causal op id), so the Begin
+   event is the root of the operation tree the analyzer reconstructs. *)
+let span_with_id ?(track = "sim") ?(args = []) ~ts ~cat ~name ~id () =
+  match current () with
+  | None -> No_span
+  | Some tr ->
+      emit tr { ts; cat; name; kind = Begin; track; id; args };
+      Span { tracer = tr; id; cat; name; track }
+
 (* ends into the span's own tracer, so a span that outlives the
    install window still closes properly *)
 let finish ?(args = []) ~ts sp =
@@ -93,7 +157,28 @@ let finish ?(args = []) ~ts sp =
         { ts; cat = s.cat; name = s.name; kind = End; track = s.track;
           id = s.id; args }
 
-let events t = List.rev t.events
+(* Chrome flow events: a [flow_start] on the inducing operation's
+   track and a [flow_end] on the induced work's track, both keyed by
+   the inducing op id, make Perfetto draw an arrow from cause to
+   effect (callbacks, recalls, invalidations). *)
+let flow_start ?(track = "sim") ?(args = []) ~ts ~id () =
+  match current () with
+  | None -> ()
+  | Some tr ->
+      emit tr
+        { ts; cat = "flow"; name = "induce"; kind = Flow_start; track; id; args }
+
+let flow_end ?(track = "sim") ?(args = []) ~ts ~id () =
+  match current () with
+  | None -> ()
+  | Some tr ->
+      emit tr
+        { ts; cat = "flow"; name = "induce"; kind = Flow_end; track; id; args }
+
+let events t =
+  if t.limit > 0 && t.live > t.limit then truncate t;
+  List.rev t.events
+
 let count t = t.count
 
 let with_tracer t f =

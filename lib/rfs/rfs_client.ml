@@ -31,9 +31,18 @@ type t = {
 
 let block_size = 4096
 
-let call t ~proc ?bulk args =
-  Netsim.Rpc.call t.rpc ~src:t.client ~dst:t.server ~prog:Rfs_server.prog ~proc
-    ?budget:t.budget ?bulk args
+(* Partially applied as [call t ctx]: every RPC of one client
+   operation is stamped with its causal context. *)
+let call t ctx ~proc ?bulk args =
+  Netsim.Rpc.call t.rpc ~ctx ~src:t.client ~dst:t.server
+    ~prog:Rfs_server.prog ~proc ?budget:t.budget ?bulk args
+
+(* Run one GFS operation under a fresh causal root ({!Obs.Causal.root}). *)
+let op t name f =
+  Obs.Causal.root
+    ~now:(fun () -> Sim.Engine.now t.engine)
+    ~track:(Netsim.Net.Host.name t.client)
+    ~name f
 
 let gnode t ino =
   match Hashtbl.find_opt t.gnodes ino with
@@ -75,11 +84,13 @@ let vn_of t (g : gnode) =
   | None -> assert false
 
 (* open RPC: returns the file's version for cache revalidation *)
-let rfs_open t g ~write =
+let rfs_open t ctx g ~write =
   let e = Xdr.Enc.create () in
   Nfs.Wire.enc_fh e (fh_of t g);
   Xdr.Enc.bool e write;
-  let d = Xdr.Dec.of_bytes (call t ~proc:Nfs.Wire.p_open (Xdr.Enc.to_bytes e)) in
+  let d =
+    Xdr.Dec.of_bytes (call t ctx ~proc:Nfs.Wire.p_open (Xdr.Enc.to_bytes e))
+  in
   (match Nfs.Wire.dec_status d with
   | Ok () -> ()
   | Error err -> raise (Localfs.Error err));
@@ -105,35 +116,38 @@ let rfs_open t g ~write =
     ];
   g.g_cached_version <- Some version
 
-let rfs_close t g ~write =
+let rfs_close t ctx g ~write =
   let e = Xdr.Enc.create () in
   Nfs.Wire.enc_fh e (fh_of t g);
   Xdr.Enc.bool e write;
   let d =
-    Xdr.Dec.of_bytes (call t ~proc:Nfs.Wire.p_close (Xdr.Enc.to_bytes e))
+    Xdr.Dec.of_bytes (call t ctx ~proc:Nfs.Wire.p_close (Xdr.Enc.to_bytes e))
   in
   match Nfs.Wire.dec_status d with
   | Ok () -> ()
   | Error err -> raise (Localfs.Error err)
 
 let do_open t vn mode =
+  op t "open" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
   g.g_last_read <- -1;
-  rfs_open t g ~write:(Vfs.Fs.mode_writes mode)
+  rfs_open t ctx g ~write:(Vfs.Fs.mode_writes mode)
 
 let do_close t vn mode =
+  op t "close" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
   (* write-through discipline: everything pending reaches the server
      before the close *)
-  Blockcache.Cache.flush_file t.cache ~file:g.g_ino;
+  Blockcache.Cache.flush_file ~ctx t.cache ~file:g.g_ino;
   Blockcache.Cache.wait_pending t.cache ~file:g.g_ino;
-  rfs_close t g ~write:(Vfs.Fs.mode_writes mode)
+  rfs_close t ctx g ~write:(Vfs.Fs.mode_writes mode)
 
 let do_read_block t vn ~index =
+  op t "read" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
   if index * block_size >= g.g_attrs.Localfs.size then (0, 0)
   else begin
-    let result = Blockcache.Cache.read t.cache ~file:g.g_ino ~index in
+    let result = Blockcache.Cache.read ~ctx t.cache ~file:g.g_ino ~index in
     if
       t.config.read_ahead
       && index = g.g_last_read + 1
@@ -147,37 +161,43 @@ let do_read_block t vn ~index =
   end
 
 let do_write_block t vn ~index ~stamp ~len =
+  op t "write" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
   let mode = if len >= block_size then `Async else `Delayed in
-  Blockcache.Cache.write t.cache ~file:g.g_ino ~index ~stamp ~len mode;
+  Blockcache.Cache.write ~ctx t.cache ~file:g.g_ino ~index ~stamp ~len mode;
   let size = max g.g_attrs.Localfs.size ((index * block_size) + len) in
   g.g_attrs <- { g.g_attrs with Localfs.size }
 
 let do_lookup t ~dir name =
+  op t "lookup" @@ fun ctx ->
   let dirg = gnode t dir.Vfs.Fs.vid in
-  let _fh, attrs = Nfs.Wire.lookup (call t) ~dir:(fh_of t dirg) name in
+  let _fh, attrs = Nfs.Wire.lookup (call t ctx) ~dir:(fh_of t dirg) name in
   vn_of t (note_attrs t attrs)
 
 let do_root t () =
   match Hashtbl.find_opt t.gnodes t.root.Nfs.Wire.ino with
   | Some g -> vn_of t g
   | None ->
-      let attrs = Nfs.Wire.getattr (call t) t.root in
+      op t "root" @@ fun ctx ->
+      let attrs = Nfs.Wire.getattr (call t ctx) t.root in
       vn_of t (note_attrs t attrs)
 
 let do_create t ~dir name =
+  op t "create" @@ fun ctx ->
   let dirg = gnode t dir.Vfs.Fs.vid in
-  let _fh, attrs = Nfs.Wire.create (call t) ~dir:(fh_of t dirg) name in
+  let _fh, attrs = Nfs.Wire.create (call t ctx) ~dir:(fh_of t dirg) name in
   vn_of t (note_attrs t attrs)
 
 let do_mkdir t ~dir name =
+  op t "mkdir" @@ fun ctx ->
   let dirg = gnode t dir.Vfs.Fs.vid in
-  let _fh, attrs = Nfs.Wire.mkdir (call t) ~dir:(fh_of t dirg) name in
+  let _fh, attrs = Nfs.Wire.mkdir (call t ctx) ~dir:(fh_of t dirg) name in
   vn_of t (note_attrs t attrs)
 
 let do_remove t ~dir name =
+  op t "remove" @@ fun ctx ->
   let dirg = gnode t dir.Vfs.Fs.vid in
-  (match Nfs.Wire.lookup (call t) ~dir:(fh_of t dirg) name with
+  (match Nfs.Wire.lookup (call t ctx) ~dir:(fh_of t dirg) name with
   | fh, _ -> (
       match Hashtbl.find_opt t.gnodes fh.Nfs.Wire.ino with
       | Some g ->
@@ -186,20 +206,24 @@ let do_remove t ~dir name =
           Hashtbl.remove t.gnodes g.g_ino
       | None -> ())
   | exception Localfs.Error _ -> ());
-  Nfs.Wire.remove (call t) ~dir:(fh_of t dirg) name
+  Nfs.Wire.remove (call t ctx) ~dir:(fh_of t dirg) name
 
 let do_rmdir t ~dir name =
+  op t "rmdir" @@ fun ctx ->
   let dirg = gnode t dir.Vfs.Fs.vid in
-  Nfs.Wire.rmdir (call t) ~dir:(fh_of t dirg) name
+  Nfs.Wire.rmdir (call t ctx) ~dir:(fh_of t dirg) name
 
 let do_rename t ~fromdir fname ~todir tname =
+  op t "rename" @@ fun ctx ->
   let fg = gnode t fromdir.Vfs.Fs.vid in
   let tg = gnode t todir.Vfs.Fs.vid in
-  Nfs.Wire.rename (call t) ~fromdir:(fh_of t fg) fname ~todir:(fh_of t tg) tname
+  Nfs.Wire.rename (call t ctx) ~fromdir:(fh_of t fg) fname ~todir:(fh_of t tg)
+    tname
 
 let do_readdir t vn =
+  op t "readdir" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
-  Nfs.Wire.readdir (call t) (fh_of t g)
+  Nfs.Wire.readdir (call t ctx) (fh_of t g)
 
 let do_getattr t vn =
   let g = gnode t vn.Vfs.Fs.vid in
@@ -207,26 +231,37 @@ let do_getattr t vn =
   g.g_attrs
 
 let do_setattr t vn ~size =
+  op t "setattr" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
   Blockcache.Cache.wait_pending t.cache ~file:g.g_ino;
   ignore (Blockcache.Cache.cancel_dirty t.cache ~file:g.g_ino);
-  let attrs = Nfs.Wire.setattr (call t) (fh_of t g) ~size in
+  let attrs = Nfs.Wire.setattr (call t ctx) (fh_of t g) ~size in
   g.g_attrs <- attrs
 
 let do_fsync t vn =
+  op t "fsync" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
-  Blockcache.Cache.flush_file t.cache ~file:g.g_ino;
+  Blockcache.Cache.flush_file ~ctx t.cache ~file:g.g_ino;
   Blockcache.Cache.wait_pending t.cache ~file:g.g_ino
 
 let handle_callback t dec =
   let args = Nfs.Wire.dec_callback dec in
   let ino = args.Nfs.Wire.cb_fh.Nfs.Wire.ino in
+  (* the inducing operation rode the wire: close the causal chain with
+     the effect end of the flow arrow on this client's track *)
+  let cctx = Obs.Causal.of_id args.Nfs.Wire.cb_ctx in
   t.invalidations_served <- t.invalidations_served + 1;
   if Obs.Metrics.on () then
     Obs.Metrics.incr
       ~labels:[ ("host", Netsim.Net.Host.name t.client) ]
       "rfs_invalidations_served_total";
-  proto_event t "invalidate" [ ("ino", Obs.Trace.Int ino) ];
+  if Obs.Trace.on () && Obs.Causal.live cctx then
+    Obs.Trace.flow_end
+      ~ts:(Sim.Engine.now t.engine)
+      ~track:(Netsim.Net.Host.name t.client)
+      ~id:(Obs.Causal.id cctx) ();
+  proto_event t "invalidate"
+    (Obs.Causal.arg cctx [ ("ino", Obs.Trace.Int ino) ]);
   (match Hashtbl.find_opt t.gnodes ino with
   | None -> ()
   | Some g ->
@@ -248,15 +283,17 @@ let mount rpc ~client ~server ~root ?(config = default_config) ?(name = "rfs")
       (let backend =
          {
            Blockcache.Cache.read_block =
-             (fun ~file ~index ->
+             (fun ~ctx ~file ~index ->
                let tt = Lazy.force t in
                let g = gnode tt file in
-               Nfs.Wire.read (call tt) (fh_of tt g) ~index);
+               Nfs.Wire.read (call tt ctx) (fh_of tt g) ~index);
            write_block =
-             (fun ~file ~index ~stamp ~len ->
+             (fun ~ctx ~file ~index ~stamp ~len ->
                let tt = Lazy.force t in
                let g = gnode tt file in
-               match Nfs.Wire.write (call tt) (fh_of tt g) ~index ~stamp ~len with
+               match
+                 Nfs.Wire.write (call tt ctx) (fh_of tt g) ~index ~stamp ~len
+               with
                | attrs -> g.g_attrs <- attrs
                | exception Localfs.Error Localfs.Stale -> ());
          }
@@ -282,7 +319,7 @@ let mount rpc ~client ~server ~root ?(config = default_config) ?(name = "rfs")
     Netsim.Rpc.serve rpc client
       ~prog:(Rfs_server.client_prog_for root.Nfs.Wire.fsid)
       ~threads:2
-      (fun ~caller:_ ~proc dec ->
+      (fun ~caller:_ ~ctx:_ ~proc dec ->
         if proc = Nfs.Wire.p_callback then handle_callback t dec
         else
           let e = Xdr.Enc.create () in

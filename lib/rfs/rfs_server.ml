@@ -32,8 +32,12 @@ let entry t ino =
 let add_cacher f client =
   if not (List.mem client f.cachers) then f.cachers <- client :: f.cachers
 
-(* RFS invalidates reader caches only when a write actually occurs *)
-let on_write t ~ino ~caller =
+(* RFS invalidates reader caches only when a write actually occurs.
+   [ctx] is the writing operation's causal context: each invalidation
+   carries it on the wire (cb_ctx) and is announced with a flow event,
+   so the trace draws an arrow from the write to the induced
+   invalidation work on each victim. *)
+let on_write t ~ino ~caller ~ctx =
   match Hashtbl.find_opt t.table ino with
   | None -> ()
   | Some f when List.for_all (fun c -> c = caller) f.cachers -> ()
@@ -55,34 +59,42 @@ let on_write t ~ino ~caller =
                 { Nfs.Wire.fsid = Nfs.Wire.core_fsid t.core; ino; gen };
               cb_writeback = false;
               cb_invalidate = true;
+              cb_ctx = Obs.Causal.id ctx;
             };
           t.invalidations <- t.invalidations + 1;
           if Obs.Metrics.on () then
             Obs.Metrics.incr "rfs_invalidations_sent_total";
-          if Obs.Trace.on () then
-            Obs.Trace.instant
-              ~ts:(Sim.Engine.now (Netsim.Net.engine (Netsim.Rpc.net t.rpc)))
-              ~cat:"rfs" ~name:"callback_send"
+          if Obs.Trace.on () && Obs.Causal.keep ctx then begin
+            let ts =
+              Sim.Engine.now (Netsim.Net.engine (Netsim.Rpc.net t.rpc))
+            in
+            Obs.Trace.instant ~ts ~cat:"rfs" ~name:"callback_send"
               ~track:(Netsim.Net.Host.name t.host)
               ~args:
-                [
-                  ("file", Obs.Trace.Int ino);
-                  ("to", Obs.Trace.Str (Netsim.Net.Host.name target));
-                ]
+                (Obs.Causal.arg ctx
+                   [
+                     ("file", Obs.Trace.Int ino);
+                     ("to", Obs.Trace.Str (Netsim.Net.Host.name target));
+                   ])
               ();
+            if Obs.Causal.live ctx then
+              Obs.Trace.flow_start ~ts
+                ~track:(Netsim.Net.Host.name t.host)
+                ~id:(Obs.Causal.id ctx) ()
+          end;
           try
             ignore
-              (Netsim.Rpc.call t.rpc ~src:t.host ~dst:target
+              (Netsim.Rpc.call t.rpc ~ctx ~src:t.host ~dst:target
                  ~prog:(client_prog_for (Nfs.Wire.core_fsid t.core))
                  ~proc:Nfs.Wire.p_callback (Xdr.Enc.to_bytes e))
           with Netsim.Rpc.Timeout _ -> ())
         victims
 
-let handle_open t ~caller d =
+let handle_open t ~caller ~ctx d =
   let fh = Nfs.Wire.dec_fh d in
   let write_mode = Xdr.Dec.bool d in
   let e = Xdr.Enc.create () in
-  (match Localfs.getattr (Nfs.Wire.core_fs t.core) fh.Nfs.Wire.ino with
+  (match Localfs.getattr ~ctx (Nfs.Wire.core_fs t.core) fh.Nfs.Wire.ino with
   | attrs ->
       let f = entry t fh.Nfs.Wire.ino in
       if write_mode then begin
@@ -113,21 +125,26 @@ let serve rpc host ?(threads = 4) ~fsid fs =
     lazy
       (let core =
          Nfs.Wire.make_server_core ~fsid fs
-           ~on_read:(fun ~ino ~caller ->
+           ~on_read:(fun ~ino ~caller ~ctx:_ ->
              (* whoever fetches data may cache it and must be told when
                 a write invalidates it *)
              add_cacher (entry (Lazy.force t) ino) caller)
-           ~on_write:(fun ~ino ~caller -> on_write (Lazy.force t) ~ino ~caller)
-           ~on_remove:(fun ~ino -> Hashtbl.remove (Lazy.force t).table ino)
+           ~on_write:(fun ~ino ~caller ~ctx ->
+             on_write (Lazy.force t) ~ino ~caller ~ctx)
+           ~on_remove:(fun ~ino ~ctx:_ ->
+             Hashtbl.remove (Lazy.force t).table ino)
            ()
        in
-       let handler ~caller ~proc dec =
+       let handler ~caller ~ctx ~proc dec =
          let tt = Lazy.force t in
          let caller_addr = Netsim.Net.Host.addr caller in
-         if proc = Nfs.Wire.p_open then handle_open tt ~caller:caller_addr dec
+         if proc = Nfs.Wire.p_open then
+           handle_open tt ~caller:caller_addr ~ctx dec
          else if proc = Nfs.Wire.p_close then handle_close tt dec
          else
-           match Nfs.Wire.handle_basic tt.core ~caller:caller_addr ~proc dec with
+           match
+             Nfs.Wire.handle_basic tt.core ~caller:caller_addr ~ctx ~proc dec
+           with
            | Some reply -> reply
            | None ->
                let e = Xdr.Enc.create () in

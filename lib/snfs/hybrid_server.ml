@@ -16,7 +16,7 @@ let mode_of_write write =
    implicit open for it, performing whatever callbacks that implies
    (write-backs from dirty SNFS clients, invalidations of their
    caches). The implicit open expires after the probe interval. *)
-let note_nfs_access t ~file ~client ~write =
+let note_nfs_access t ~ctx ~file ~client ~write =
   let key = (file, client, write) in
   let now = Sim.Engine.now t.engine in
   match Hashtbl.find_opt t.phantoms key with
@@ -29,7 +29,7 @@ let note_nfs_access t ~file ~client ~write =
               Spritely.State_table.open_file table ~file ~client
                 ~mode:(mode_of_write write)
             in
-            Snfs_server.deliver_callbacks t.snfs ~file
+            Snfs_server.deliver_callbacks ~ctx t.snfs ~file
               result.Spritely.State_table.callbacks;
             result)
       with
@@ -62,7 +62,7 @@ let serve rpc host ?(threads = 4) ?(nfs_probe_interval = 150.0) ~fsid fs =
   let engine = Netsim.Net.engine (Netsim.Rpc.net rpc) in
   let rec t =
     lazy
-      (let handler ~caller ~proc dec =
+      (let handler ~caller ~ctx ~proc dec =
          let tt = Lazy.force t in
          let caller_addr = Netsim.Net.Host.addr caller in
          (* data accesses imply SNFS opens (Section 6.1) *)
@@ -70,7 +70,7 @@ let serve rpc host ?(threads = 4) ?(nfs_probe_interval = 150.0) ~fsid fs =
             || proc = Nfs.Wire.p_setattr || proc = Nfs.Wire.p_getattr
           then
             let fh = Nfs.Wire.dec_fh (Xdr.Dec.clone dec) in
-            note_nfs_access tt ~file:fh.Nfs.Wire.ino ~client:caller_addr
+            note_nfs_access tt ~ctx ~file:fh.Nfs.Wire.ino ~client:caller_addr
               ~write:(proc = Nfs.Wire.p_write || proc = Nfs.Wire.p_setattr)
           else if proc = Nfs.Wire.p_lookup then begin
             (* a lookup is how NFS clients first reach a file: resolve
@@ -81,20 +81,22 @@ let serve rpc host ?(threads = 4) ?(nfs_probe_interval = 150.0) ~fsid fs =
             let dir = Nfs.Wire.dec_fh peek in
             let name = Xdr.Dec.string peek in
             match
-              Localfs.lookup
+              Localfs.lookup ~ctx
                 (Nfs.Wire.core_fs (Snfs_server.core snfs))
                 ~dir:dir.Nfs.Wire.ino name
             with
             | ino ->
                 (* directories need no consistency tracking *)
                 let fs = Nfs.Wire.core_fs (Snfs_server.core snfs) in
-                if (Localfs.getattr fs ino).Localfs.ftype = Localfs.File then
-                  note_nfs_access tt ~file:ino ~client:caller_addr ~write:false
+                if (Localfs.getattr ~ctx fs ino).Localfs.ftype = Localfs.File
+                then
+                  note_nfs_access tt ~ctx ~file:ino ~client:caller_addr
+                    ~write:false
             | exception Localfs.Error _ -> ()
           end);
          match
            Nfs.Wire.handle_basic (Snfs_server.core snfs) ~caller:caller_addr
-             ~proc dec
+             ~ctx ~proc dec
          with
          | Some reply -> reply
          | None ->

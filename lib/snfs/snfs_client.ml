@@ -48,9 +48,18 @@ type t = {
 
 let block_size = 4096
 
-let call t ~proc ?bulk args =
-  Netsim.Rpc.call t.rpc ~src:t.client ~dst:t.server ~prog:Snfs_server.prog
-    ~proc ?budget:t.budget ?bulk args
+(* Partially applied as [call t ctx]: every RPC of one client
+   operation is stamped with its causal context. *)
+let call t ctx ~proc ?bulk args =
+  Netsim.Rpc.call t.rpc ~ctx ~src:t.client ~dst:t.server
+    ~prog:Snfs_server.prog ~proc ?budget:t.budget ?bulk args
+
+(* Run one GFS operation under a fresh causal root ({!Obs.Causal.root}). *)
+let op t name f =
+  Obs.Causal.root
+    ~now:(fun () -> Sim.Engine.now t.engine)
+    ~track:(Netsim.Net.Host.name t.client)
+    ~name f
 
 let gnode t ino =
   match Hashtbl.find_opt t.gnodes ino with
@@ -111,21 +120,21 @@ let drop_cache t g =
   Blockcache.Cache.wait_pending t.cache ~file:g.g_ino;
   ignore (Blockcache.Cache.cancel_dirty t.cache ~file:g.g_ino)
 
-let flush_cache t g =
-  Blockcache.Cache.flush_file t.cache ~file:g.g_ino;
+let flush_cache ?(ctx = Obs.Causal.none) t g =
+  Blockcache.Cache.flush_file ~ctx t.cache ~file:g.g_ino;
   Blockcache.Cache.wait_pending t.cache ~file:g.g_ino
 
 (* ---- delayed close (Section 6.2) ---- *)
 
-let send_close t g ~write =
-  Nfs.Wire.snfs_close (call t) (fh_of t g) ~write_mode:write
+let send_close t ctx g ~write =
+  Nfs.Wire.snfs_close (call t ctx) (fh_of t g) ~write_mode:write
 
 (* release every withheld close (a callback arrived, or the file is
    going away) *)
-let release_unsent t g =
+let release_unsent t ctx g =
   let unsent = g.g_unsent in
   g.g_unsent <- [];
-  List.iter (fun u -> send_close t g ~write:u.u_write) unsent
+  List.iter (fun u -> send_close t ctx g ~write:u.u_write) unsent
 
 let add_unsent t g ~write =
   let id = t.next_unsent_id in
@@ -137,7 +146,8 @@ let add_unsent t g ~write =
         Sim.Engine.spawn t.engine ~name:"snfs.delayed_close" (fun () ->
             if List.exists (fun u -> u.u_id = id) g.g_unsent then begin
               g.g_unsent <- List.filter (fun u -> u.u_id <> id) g.g_unsent;
-              send_close t g ~write
+              (* background expiry: no client operation induced it *)
+              send_close t Obs.Causal.none g ~write
             end))
 
 let take_unsent g ~write =
@@ -162,7 +172,7 @@ let note_cache_mode t g enabled =
         ]
       "snfs_cache_mode_transitions_total"
 
-let process_open_reply t g ~write (r : Nfs.Wire.open_reply) =
+let process_open_reply t ctx g ~write (r : Nfs.Wire.open_reply) =
   let valid =
     Spritely.Version.valid_for_open ~cached:g.g_cached_version
       ~latest:r.Nfs.Wire.version ~previous:r.Nfs.Wire.prev_version ~write
@@ -185,7 +195,7 @@ let process_open_reply t g ~write (r : Nfs.Wire.open_reply) =
   else begin
     (* write-shared: return valid dirty data, then stop caching *)
     note_cache_mode t g false;
-    if valid then flush_cache t g;
+    if valid then flush_cache ~ctx t g;
     drop_cache t g;
     Blockcache.Cache.invalidate_file t.cache ~file:g.g_ino;
     g.g_cache_enabled <- false;
@@ -193,6 +203,7 @@ let process_open_reply t g ~write (r : Nfs.Wire.open_reply) =
   end
 
 let do_open t vn mode =
+  op t "open" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
   g.g_last_read <- -1;
   let write = Vfs.Fs.mode_writes mode in
@@ -208,8 +219,8 @@ let do_open t vn mode =
     (* a rebooted server refuses opens during its recovery grace
        period; back off and retry until it is willing *)
     let rec attempt tries =
-      match Nfs.Wire.snfs_open (call t) (fh_of t g) ~write_mode:write with
-      | reply -> process_open_reply t g ~write reply
+      match Nfs.Wire.snfs_open (call t ctx) (fh_of t g) ~write_mode:write with
+      | reply -> process_open_reply t ctx g ~write reply
       | exception Localfs.Error Localfs.Again when tries < 120 ->
           Sim.Engine.sleep t.engine 2.0;
           attempt (tries + 1)
@@ -225,6 +236,7 @@ let do_open t vn mode =
   if write then g.g_writes <- g.g_writes + 1 else g.g_reads <- g.g_reads + 1
 
 let do_close t vn mode =
+  op t "close" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
   let write = Vfs.Fs.mode_writes mode in
   if write then g.g_writes <- g.g_writes - 1 else g.g_reads <- g.g_reads - 1;
@@ -236,16 +248,17 @@ let do_close t vn mode =
     ];
   (* no flush: dirty blocks stay cached under the delayed-write policy *)
   if t.config.delayed_close then add_unsent t g ~write
-  else send_close t g ~write
+  else send_close t ctx g ~write
 
 (* ---- data path ---- *)
 
 let do_read_block t vn ~index =
+  op t "read" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
   if g.g_cache_enabled then begin
     if index * block_size >= g.g_attrs.Localfs.size then (0, 0)
     else begin
-      let result = Blockcache.Cache.read t.cache ~file:g.g_ino ~index in
+      let result = Blockcache.Cache.read ~ctx t.cache ~file:g.g_ino ~index in
       (* read-ahead, but never for non-cachable files (Section 4.2.1) *)
       if
         t.config.read_ahead
@@ -263,48 +276,55 @@ let do_read_block t vn ~index =
   end
   else
     (* write-shared: every read goes to the server *)
-    Nfs.Wire.read (call t) (fh_of t g) ~index
+    Nfs.Wire.read (call t ctx) (fh_of t g) ~index
 
 let do_write_block t vn ~index ~stamp ~len =
+  op t "write" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
   if g.g_cache_enabled then begin
-    Blockcache.Cache.write t.cache ~file:g.g_ino ~index ~stamp ~len `Delayed;
+    Blockcache.Cache.write ~ctx t.cache ~file:g.g_ino ~index ~stamp ~len
+      `Delayed;
     let size = max g.g_attrs.Localfs.size ((index * block_size) + len) in
     g.g_attrs <- { g.g_attrs with Localfs.size }
   end
   else begin
     (* write-shared: write through to the server *)
-    let attrs = Nfs.Wire.write (call t) (fh_of t g) ~index ~stamp ~len in
+    let attrs = Nfs.Wire.write (call t ctx) (fh_of t g) ~index ~stamp ~len in
     g.g_attrs <- attrs
   end
 
 (* ---- namespace ---- *)
 
 let do_lookup t ~dir name =
+  op t "lookup" @@ fun ctx ->
   let dirg = gnode t dir.Vfs.Fs.vid in
-  let _fh, attrs = Nfs.Wire.lookup (call t) ~dir:(fh_of t dirg) name in
+  let _fh, attrs = Nfs.Wire.lookup (call t ctx) ~dir:(fh_of t dirg) name in
   vn_of t (note_attrs t attrs)
 
 let do_root t () =
   match Hashtbl.find_opt t.gnodes t.root.Nfs.Wire.ino with
   | Some g -> vn_of t g
   | None ->
-      let attrs = Nfs.Wire.getattr (call t) t.root in
+      op t "root" @@ fun ctx ->
+      let attrs = Nfs.Wire.getattr (call t ctx) t.root in
       vn_of t (note_attrs t attrs)
 
 let do_create t ~dir name =
+  op t "create" @@ fun ctx ->
   let dirg = gnode t dir.Vfs.Fs.vid in
-  let _fh, attrs = Nfs.Wire.create (call t) ~dir:(fh_of t dirg) name in
+  let _fh, attrs = Nfs.Wire.create (call t ctx) ~dir:(fh_of t dirg) name in
   vn_of t (note_attrs t attrs)
 
 let do_mkdir t ~dir name =
+  op t "mkdir" @@ fun ctx ->
   let dirg = gnode t dir.Vfs.Fs.vid in
-  let _fh, attrs = Nfs.Wire.mkdir (call t) ~dir:(fh_of t dirg) name in
+  let _fh, attrs = Nfs.Wire.mkdir (call t ctx) ~dir:(fh_of t dirg) name in
   vn_of t (note_attrs t attrs)
 
 let do_remove t ~dir name =
+  op t "remove" @@ fun ctx ->
   let dirg = gnode t dir.Vfs.Fs.vid in
-  (match Nfs.Wire.lookup (call t) ~dir:(fh_of t dirg) name with
+  (match Nfs.Wire.lookup (call t ctx) ~dir:(fh_of t dirg) name with
   | fh, _ -> (
       match Hashtbl.find_opt t.gnodes fh.Nfs.Wire.ino with
       | Some g ->
@@ -315,47 +335,57 @@ let do_remove t ~dir name =
           Hashtbl.remove t.gnodes g.g_ino
       | None -> ())
   | exception Localfs.Error _ -> ());
-  Nfs.Wire.remove (call t) ~dir:(fh_of t dirg) name
+  Nfs.Wire.remove (call t ctx) ~dir:(fh_of t dirg) name
 
 let do_rmdir t ~dir name =
+  op t "rmdir" @@ fun ctx ->
   let dirg = gnode t dir.Vfs.Fs.vid in
-  Nfs.Wire.rmdir (call t) ~dir:(fh_of t dirg) name
+  Nfs.Wire.rmdir (call t ctx) ~dir:(fh_of t dirg) name
 
 let do_rename t ~fromdir fname ~todir tname =
+  op t "rename" @@ fun ctx ->
   let fg = gnode t fromdir.Vfs.Fs.vid in
   let tg = gnode t todir.Vfs.Fs.vid in
-  Nfs.Wire.rename (call t) ~fromdir:(fh_of t fg) fname ~todir:(fh_of t tg) tname
+  Nfs.Wire.rename (call t ctx) ~fromdir:(fh_of t fg) fname ~todir:(fh_of t tg)
+    tname
 
 let do_readdir t vn =
+  op t "readdir" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
-  Nfs.Wire.readdir (call t) (fh_of t g)
+  Nfs.Wire.readdir (call t ctx) (fh_of t g)
 
 let do_getattr t vn =
   let g = gnode t vn.Vfs.Fs.vid in
   if (not g.g_cache_enabled) && g.g_reads + g.g_writes > 0 then begin
+    op t "getattr" @@ fun ctx ->
     (* write-shared files always fetch attributes (Section 4.2.1) *)
-    let attrs = Nfs.Wire.getattr (call t) (fh_of t g) in
+    let attrs = Nfs.Wire.getattr (call t ctx) (fh_of t g) in
     g.g_attrs <- attrs;
     attrs
   end
   else g.g_attrs
 
 let do_setattr t vn ~size =
+  op t "setattr" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
   drop_cache t g;
   Blockcache.Cache.invalidate_file t.cache ~file:g.g_ino;
-  let attrs = Nfs.Wire.setattr (call t) (fh_of t g) ~size in
+  let attrs = Nfs.Wire.setattr (call t ctx) (fh_of t g) ~size in
   g.g_attrs <- attrs
 
 let do_fsync t vn =
+  op t "fsync" @@ fun ctx ->
   let g = gnode t vn.Vfs.Fs.vid in
-  flush_cache t g
+  flush_cache ~ctx t g
 
 (* ---- callback service (Section 4.2.2) ---- *)
 
 let handle_callback t dec =
   let args = Nfs.Wire.dec_callback dec in
   let ino = args.Nfs.Wire.cb_fh.Nfs.Wire.ino in
+  (* the inducing operation rode the wire: close the causal chain with
+     the effect end of the flow arrow on this client's track *)
+  let cctx = Obs.Causal.of_id args.Nfs.Wire.cb_ctx in
   t.callbacks_served <- t.callbacks_served + 1;
   if Obs.Metrics.on () then
     Obs.Metrics.incr
@@ -371,19 +401,25 @@ let handle_callback t dec =
             | false, false -> "noop" );
         ]
       "snfs_callbacks_served_total";
+  if Obs.Trace.on () && Obs.Causal.live cctx then
+    Obs.Trace.flow_end
+      ~ts:(Sim.Engine.now t.engine)
+      ~track:(Netsim.Net.Host.name t.client)
+      ~id:(Obs.Causal.id cctx) ();
   proto_event t "callback"
-    [
-      ("ino", Obs.Trace.Int ino);
-      ("writeback", Obs.Trace.Bool args.Nfs.Wire.cb_writeback);
-      ("invalidate", Obs.Trace.Bool args.Nfs.Wire.cb_invalidate);
-    ];
+    (Obs.Causal.arg cctx
+       [
+         ("ino", Obs.Trace.Int ino);
+         ("writeback", Obs.Trace.Bool args.Nfs.Wire.cb_writeback);
+         ("invalidate", Obs.Trace.Bool args.Nfs.Wire.cb_invalidate);
+       ]);
   (match Hashtbl.find_opt t.gnodes ino with
   | None -> () (* nothing cached; trivially satisfied *)
   | Some g ->
       (* a delayed-close file must really close so the new client can
          cache it (Section 6.2) *)
-      release_unsent t g;
-      if args.Nfs.Wire.cb_writeback then flush_cache t g;
+      release_unsent t cctx g;
+      if args.Nfs.Wire.cb_writeback then flush_cache ~ctx:cctx t g;
       if args.Nfs.Wire.cb_invalidate then begin
         drop_cache t g;
         Blockcache.Cache.invalidate_file t.cache ~file:ino;
@@ -431,7 +467,8 @@ let recover_now t =
       Xdr.Enc.uint32 e version)
     reports;
   let d =
-    Xdr.Dec.of_bytes (call t ~proc:Nfs.Wire.p_reopen (Xdr.Enc.to_bytes e))
+    Xdr.Dec.of_bytes
+      (call t Obs.Causal.none ~proc:Nfs.Wire.p_reopen (Xdr.Enc.to_bytes e))
   in
   match Nfs.Wire.dec_status d with
   | Ok () -> ()
@@ -439,7 +476,10 @@ let recover_now t =
 
 let ping t =
   let e = Xdr.Enc.create () in
-  let d = Xdr.Dec.of_bytes (call t ~proc:Nfs.Wire.p_ping (Xdr.Enc.to_bytes e)) in
+  let d =
+    Xdr.Dec.of_bytes
+      (call t Obs.Causal.none ~proc:Nfs.Wire.p_ping (Xdr.Enc.to_bytes e))
+  in
   match Nfs.Wire.dec_status d with
   | Ok () -> Some (Xdr.Dec.uint32 d)
   | Error _ -> None
@@ -474,17 +514,19 @@ let mount rpc ~client ~server ~root ?(config = default_config) ?(name = "snfs")
       (let backend =
          {
            Blockcache.Cache.read_block =
-             (fun ~file ~index ->
+             (fun ~ctx ~file ~index ->
                let tt = Lazy.force t in
                let g = gnode tt file in
-               Nfs.Wire.read (call tt) (fh_of tt g) ~index);
+               Nfs.Wire.read (call tt ctx) (fh_of tt g) ~index);
            write_block =
-             (fun ~file ~index ~stamp ~len ->
+             (fun ~ctx ~file ~index ~stamp ~len ->
                let tt = Lazy.force t in
                let g = gnode tt file in
                (* the file may have been removed while this delayed
                   write was in flight: its data no longer matters *)
-               match Nfs.Wire.write (call tt) (fh_of tt g) ~index ~stamp ~len with
+               match
+                 Nfs.Wire.write (call tt ctx) (fh_of tt g) ~index ~stamp ~len
+               with
                | attrs -> g.g_attrs <- attrs
                | exception Localfs.Error Localfs.Stale -> ());
          }
@@ -514,7 +556,7 @@ let mount rpc ~client ~server ~root ?(config = default_config) ?(name = "snfs")
     Netsim.Rpc.serve rpc client
       ~prog:(Snfs_server.client_prog_for root.Nfs.Wire.fsid)
       ~threads:2
-      (fun ~caller:_ ~proc dec ->
+      (fun ~caller:_ ~ctx:_ ~proc dec ->
         if proc = Nfs.Wire.p_callback then handle_callback t dec
         else if proc = Nfs.Wire.p_ping then begin
           (* liveness probe from the server's client reaper *)

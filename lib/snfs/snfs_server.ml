@@ -121,9 +121,9 @@ let conflict_with_suspect t ~file (cb : Spritely.State_table.callback) =
 (* Deliver one callback prescribed by the state table. A dead client
    is forgotten, as Section 3.2 prescribes; its dirty data (if any) is
    lost and the entry stays flagged inconsistent. *)
-let perform_callback_live t ~file (cb : Spritely.State_table.callback) =
+let perform_callback_live t ~ctx ~file (cb : Spritely.State_table.callback) =
   let target = Netsim.Net.Host.by_addr (Netsim.Rpc.net t.rpc) cb.target in
-  let attrs = Localfs.getattr (Nfs.Wire.core_fs t.core) file in
+  let attrs = Localfs.getattr ~ctx (Nfs.Wire.core_fs t.core) file in
   let args =
     {
       Nfs.Wire.cb_fh =
@@ -134,6 +134,7 @@ let perform_callback_live t ~file (cb : Spritely.State_table.callback) =
         };
       cb_writeback = cb.writeback;
       cb_invalidate = cb.invalidate;
+      cb_ctx = Obs.Causal.id ctx;
     }
   in
   let e = Xdr.Enc.create () in
@@ -151,17 +152,26 @@ let perform_callback_live t ~file (cb : Spritely.State_table.callback) =
             | false, false -> "relinquish" );
         ]
       "snfs_callbacks_sent_total";
-  server_event t "callback_send"
-    [
-      ("file", Obs.Trace.Int file);
-      ("to", Obs.Trace.Str (Netsim.Net.Host.name target));
-      ("writeback", Obs.Trace.Bool cb.writeback);
-      ("invalidate", Obs.Trace.Bool cb.invalidate);
-    ];
+  if Obs.Trace.on () && Obs.Causal.keep ctx then
+    server_event t "callback_send"
+      (Obs.Causal.arg ctx
+         [
+           ("file", Obs.Trace.Int file);
+           ("to", Obs.Trace.Str (Netsim.Net.Host.name target));
+           ("writeback", Obs.Trace.Bool cb.writeback);
+           ("invalidate", Obs.Trace.Bool cb.invalidate);
+         ]);
+  (* the flow event ties the induced callback work on the target
+     client back to the inducing client operation *)
+  if Obs.Causal.live ctx then
+    Obs.Trace.flow_start
+      ~ts:(Sim.Engine.now t.engine)
+      ~track:(Netsim.Net.Host.name t.host)
+      ~id:(Obs.Causal.id ctx) ();
   (* a short retry schedule: the opener waiting on this callback must
      not itself time out before we give up on a dead client *)
   match
-    Netsim.Rpc.call t.rpc
+    Netsim.Rpc.call t.rpc ~ctx
       ~config:(Netsim.Rpc.impatient (Netsim.Rpc.config t.rpc))
       ~src:t.host ~dst:target
       ~prog:(client_prog_for (Nfs.Wire.core_fsid t.core))
@@ -190,25 +200,25 @@ let perform_callback_live t ~file (cb : Spritely.State_table.callback) =
           reap t cb.target ~state:Spritely.Lifecycle.Expirable
       | None -> Spritely.State_table.forget_client t.table cb.target)
 
-let perform_callback t ~file (cb : Spritely.State_table.callback) =
+let perform_callback t ~ctx ~file (cb : Spritely.State_table.callback) =
   if conflict_with_suspect t ~file cb then ()
-  else perform_callback_live t ~file cb
+  else perform_callback_live t ~ctx ~file cb
 
-let perform_callbacks t ~file callbacks =
+let perform_callbacks t ~ctx ~file callbacks =
   if callbacks <> [] then
     Sim.Semaphore.with_unit t.callback_tokens (fun () ->
-        List.iter (perform_callback t ~file) callbacks)
+        List.iter (perform_callback t ~ctx ~file) callbacks)
 
 (* The table is full of apparently-open files — usually delayed-close
    clients (Section 6.2). Ask the least-recently-active entry's clients
    to relinquish: a callback with neither flag set tells a client to
    release any withheld closes. Returns true if it is worth retrying
    the open. *)
-let relinquish_for_space t =
+let relinquish_for_space t ~ctx =
   match Spritely.State_table.least_recently_active_open t.table with
   | None -> false
   | Some (file, clients) ->
-      perform_callbacks t ~file
+      perform_callbacks t ~ctx ~file
         (List.map
            (fun client ->
              {
@@ -232,7 +242,7 @@ let with_file_lock t file f =
   in
   Sim.Semaphore.with_unit lock f
 
-let handle_open t ~caller d =
+let handle_open t ~caller ~ctx d =
   let fh = Nfs.Wire.dec_fh d in
   let write_mode = Xdr.Dec.bool d in
   let e = Xdr.Enc.create () in
@@ -247,7 +257,7 @@ let handle_open t ~caller d =
   end
   else begin
   with_file_lock t fh.Nfs.Wire.ino @@ fun () ->
-  (match Localfs.getattr (Nfs.Wire.core_fs t.core) fh.Nfs.Wire.ino with
+  (match Localfs.getattr ~ctx (Nfs.Wire.core_fs t.core) fh.Nfs.Wire.ino with
   | attrs -> (
       let rec try_open retried =
         match
@@ -258,11 +268,11 @@ let handle_open t ~caller d =
             note_state t ~file:fh.Nfs.Wire.ino;
             (* the opener must not see the file until the other clients'
                dirty blocks are back and their caches are off *)
-            perform_callbacks t ~file:fh.Nfs.Wire.ino
+            perform_callbacks t ~ctx ~file:fh.Nfs.Wire.ino
               result.Spritely.State_table.callbacks;
             (* attributes may have changed during the write-backs *)
             let attrs =
-              try Localfs.getattr (Nfs.Wire.core_fs t.core) fh.Nfs.Wire.ino
+              try Localfs.getattr ~ctx (Nfs.Wire.core_fs t.core) fh.Nfs.Wire.ino
               with Localfs.Error _ -> attrs
             in
             Nfs.Wire.enc_status e (Ok ());
@@ -271,7 +281,7 @@ let handle_open t ~caller d =
             Xdr.Enc.uint32 e result.Spritely.State_table.prev_version;
             Nfs.Wire.enc_attrs e attrs
         | exception Spritely.State_table.Table_full ->
-            if (not retried) && relinquish_for_space t then try_open true
+            if (not retried) && relinquish_for_space t ~ctx then try_open true
             else Nfs.Wire.enc_status e (Error Localfs.Stale)
       in
       try_open false)
@@ -339,12 +349,12 @@ let serve rpc host ?(threads = 8) ?(max_table_entries = 1000)
     lazy
       (let core =
          Nfs.Wire.make_server_core ~fsid fs
-           ~on_remove:(fun ~ino ->
+           ~on_remove:(fun ~ino ~ctx:_ ->
              let tt = Lazy.force t in
              Spritely.State_table.remove_file tt.table ~file:ino)
            ()
        in
-       let handler ~caller ~proc dec =
+       let handler ~caller ~ctx ~proc dec =
          let tt = Lazy.force t in
          let caller_addr = Netsim.Net.Host.addr caller in
          (match Hashtbl.find_opt tt.last_heard caller_addr with
@@ -368,7 +378,8 @@ let serve rpc host ?(threads = 8) ?(max_table_entries = 1000)
                    ("via", Obs.Trace.Str "rpc") ]
              end
          | _ -> ());
-         if proc = Nfs.Wire.p_open then handle_open tt ~caller:caller_addr dec
+         if proc = Nfs.Wire.p_open then
+           handle_open tt ~caller:caller_addr ~ctx dec
          else if proc = Nfs.Wire.p_close then
            handle_close tt ~caller:caller_addr dec
          else if proc = Nfs.Wire.p_ping then handle_ping tt
@@ -376,7 +387,7 @@ let serve rpc host ?(threads = 8) ?(max_table_entries = 1000)
            handle_reopen tt ~caller:caller_addr dec
          else
            match
-             Nfs.Wire.handle_basic tt.core ~caller:caller_addr ~proc dec
+             Nfs.Wire.handle_basic tt.core ~caller:caller_addr ~ctx ~proc dec
            with
            | Some reply -> reply
            | None ->
@@ -426,7 +437,8 @@ let serve rpc host ?(threads = 8) ?(max_table_entries = 1000)
       t.grace_until <- Sim.Engine.now engine +. t.recovery_grace);
   t
 
-let deliver_callbacks t ~file callbacks = perform_callbacks t ~file callbacks
+let deliver_callbacks ?(ctx = Obs.Causal.none) t ~file callbacks =
+  perform_callbacks t ~ctx ~file callbacks
 
 (* clients currently holding any state in the table *)
 let clients_with_state t =

@@ -60,8 +60,10 @@ val callbacks_failed : t -> int
 (** Deliver a list of prescribed callbacks now (used by the hybrid
     NFS/SNFS server of Section 6.1, whose implicit opens also produce
     callback prescriptions). Blocks until all are delivered or their
-    targets are declared dead. *)
+    targets are declared dead. [ctx] is the causal context of the
+    inducing client operation; it rides in the callback payload. *)
 val deliver_callbacks :
+  ?ctx:Obs.Causal.t ->
   t -> file:int -> Spritely.State_table.callback list -> unit
 
 (** The underlying basic-procedure core (shared with the hybrid

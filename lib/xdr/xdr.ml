@@ -146,6 +146,13 @@ module Enc = struct
     | Some v ->
         bool e true;
         f v
+
+  (* Causal-context field: the inducing operation's trace id, carried
+     in callback payloads so induced work on another host can name the
+     operation that caused it. Ids are per-campaign-slot offset and may
+     exceed 32 bits, hence hyper. Non-positive contexts (none, or
+     sampled out) marshal as 0. *)
+  let ctx e c = hyper e (Int64.of_int (if c > 0 then c else 0))
 end
 
 module Dec = struct
@@ -227,4 +234,7 @@ module Dec = struct
     loop 0 []
 
   let option t f = if bool t then Some (f t) else None
+
+  (* inverse of [Enc.ctx]: 0 decodes to "no context" *)
+  let ctx t = Int64.to_int (hyper t)
 end

@@ -70,6 +70,11 @@ module Enc : sig
 
   (** XDR optional ("pointer"): bool discriminant then the value. *)
   val option : t -> ('a -> unit) -> 'a option -> unit
+
+  (** Causal-context field (see {!Obs.Causal}): the inducing
+      operation's trace id as a hyper; non-positive contexts marshal
+      as 0 ("no context"). *)
+  val ctx : t -> int -> unit
 end
 
 module Dec : sig
@@ -105,4 +110,7 @@ module Dec : sig
   val string : t -> string
   val array : t -> (t -> 'a) -> 'a list
   val option : t -> (t -> 'a) -> 'a option
+
+  (** Inverse of {!Enc.ctx}; 0 decodes to "no context". *)
+  val ctx : t -> int
 end

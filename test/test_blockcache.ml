@@ -25,14 +25,14 @@ let make_backend ?(delay = 0.01) e =
   let backend =
     {
       Blockcache.Cache.read_block =
-        (fun ~file ~index ->
+        (fun ~ctx:_ ~file ~index ->
           Sim.Engine.sleep e delay;
           log.breads <- (file, index) :: log.breads;
           match Hashtbl.find_opt log.store (file, index) with
           | Some v -> v
           | None -> (0, 0));
       write_block =
-        (fun ~file ~index ~stamp ~len ->
+        (fun ~ctx:_ ~file ~index ~stamp ~len ->
           Sim.Engine.sleep e delay;
           log.bwrites <- (file, index, stamp) :: log.bwrites;
           Hashtbl.replace log.store (file, index) (stamp, len));

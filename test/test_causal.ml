@@ -1,0 +1,256 @@
+(* Acceptance tests for the causal-tracing PR: the offline analyzer
+   reconstructs complete per-operation trees from a traced SNFS
+   write-sharing run, links every callback span to the client
+   operation that induced it (Chrome flow events), renders its report
+   deterministically, and the fleet-scale observability budget holds —
+   metric label cardinality stays capped and head-sampled traces
+   contain only complete operation trees. *)
+
+let run_sim f =
+  let e = Sim.Engine.create () in
+  let result = ref None in
+  Sim.Engine.spawn e ~name:"test-main" (fun () ->
+      result := Some (f e);
+      Sim.Engine.stop e);
+  Sim.Engine.run e;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "simulation main process did not complete"
+
+(* ---- the write-sharing SNFS world: two clients ping-pong a file so
+   the server issues callbacks on every conflicting open ---- *)
+
+let scenario e =
+  let net = Netsim.Net.create e () in
+  let rpc = Netsim.Rpc.create net () in
+  let server_host = Netsim.Net.Host.create net "server" in
+  let server_disk = Diskm.Disk.create e "server-disk" in
+  let server_fs =
+    Localfs.create e ~name:"srvfs" ~disk:server_disk ~cache_blocks:896
+      ~meta_policy:`Sync ()
+  in
+  let server = Snfs.Snfs_server.serve rpc server_host ~fsid:2 server_fs in
+  let client name =
+    let host = Netsim.Net.Host.create net name in
+    let c =
+      Snfs.Snfs_client.mount rpc ~client:host ~server:server_host
+        ~root:(Snfs.Snfs_server.root_fh server) ~name ()
+    in
+    let mounts = Vfs.Mount.create () in
+    Vfs.Mount.mount mounts ~at:"/" (Snfs.Snfs_client.fs c);
+    mounts
+  in
+  let m1 = client "c1" in
+  let m2 = client "c2" in
+  let fd = Vfs.Fileio.creat m1 "/f" in
+  ignore (Vfs.Fileio.write fd ~len:16384);
+  Vfs.Fileio.close fd;
+  ignore (Vfs.Fileio.read_file m2 "/f");
+  let wfd = Vfs.Fileio.openf m1 "/f" Vfs.Fs.Write_only in
+  ignore (Vfs.Fileio.write wfd ~len:4096);
+  Sim.Engine.sleep e 0.5;
+  ignore (Vfs.Fileio.read_file m2 "/f");
+  Vfs.Fileio.close wfd;
+  Sim.Engine.sleep e 1.0
+
+let analyzed ?sample_every () =
+  let tr = Obs.Trace.create ?sample_every () in
+  Obs.Trace.with_tracer tr (fun () -> run_sim scenario);
+  Obs.Analyze.of_chrome ~label:"scenario" (Obs.Chrome.to_string tr)
+
+(* ---- every callback is flow-linked to its inducing operation ---- *)
+
+let test_callbacks_flow_linked () =
+  let run = analyzed () in
+  Alcotest.(check string) "protocol inferred" "snfs" run.Obs.Analyze.protocol;
+  Alcotest.(check bool) "traced ops" true (run.Obs.Analyze.ops <> []);
+  Alcotest.(check int) "complete trees" 0 run.Obs.Analyze.orphan_spans;
+  Alcotest.(check bool)
+    "write sharing induced callbacks" true
+    (run.Obs.Analyze.callback_spans > 0);
+  Alcotest.(check int)
+    "every callback span flow-linked to its inducing op"
+    run.Obs.Analyze.callback_spans run.Obs.Analyze.flow_linked;
+  Alcotest.(check bool)
+    "flow arrows recorded" true
+    (run.Obs.Analyze.flow_starts > 0
+    && run.Obs.Analyze.flow_ends > 0);
+  (* the inducing operations actually charge consistency time *)
+  let induced = List.filter (fun o -> o.Obs.Analyze.fanout > 0) run.Obs.Analyze.ops in
+  Alcotest.(check bool) "some op has fan-out" true (induced <> []);
+  List.iter
+    (fun o ->
+      Alcotest.(check bool)
+        (Printf.sprintf "op %d (%s) charges consist time" o.Obs.Analyze.op_id
+           o.Obs.Analyze.cls)
+        true
+        (o.Obs.Analyze.consist > 0.0))
+    induced
+
+(* ---- the analyzer report is a pure function of the workload ---- *)
+
+let test_report_deterministic () =
+  let report () = Obs.Analyze.report [ analyzed () ] in
+  let a = report () and b = report () in
+  Alcotest.(check bool) "report non-trivial" true (String.length a > 200);
+  Alcotest.(check string) "two runs render byte-identically" a b
+
+(* ---- head sampling keeps whole trees, drops whole trees ---- *)
+
+let test_sampled_trees_complete () =
+  let full = analyzed () in
+  let sampled = analyzed ~sample_every:3 () in
+  Alcotest.(check int)
+    "sampling rate recorded" 3 sampled.Obs.Analyze.sample_every;
+  Alcotest.(check int)
+    "sampled trees still complete" 0 sampled.Obs.Analyze.orphan_spans;
+  let n_full = List.length full.Obs.Analyze.ops in
+  let n_sampled = List.length sampled.Obs.Analyze.ops in
+  Alcotest.(check bool)
+    (Printf.sprintf "sampling drops ops (%d of %d kept)" n_sampled n_full)
+    true
+    (n_sampled > 0 && n_sampled < n_full);
+  (* sampled-out callbacks are suppressed with their trees: whatever
+     callback spans remain are still all flow-linked *)
+  Alcotest.(check int)
+    "surviving callbacks still flow-linked" sampled.Obs.Analyze.callback_spans
+    sampled.Obs.Analyze.flow_linked
+
+(* ---- fleet-scale budget: 1000 clients, capped labels, sampled
+   traces ---- *)
+
+let n_clients = 1000
+let budget = 8
+let keep_one_in = 10
+
+let test_fleet_observability_budget () =
+  let m = Obs.Metrics.create ~label_budget:budget () in
+  let tr = Obs.Trace.create ~sample_every:keep_one_in () in
+  Obs.Metrics.with_metrics m (fun () ->
+      Obs.Trace.with_tracer tr (fun () ->
+          for i = 0 to n_clients - 1 do
+            let track = Printf.sprintf "client%03d" i in
+            let now () = float_of_int i in
+            Obs.Causal.root ~now ~track ~name:"read" (fun ctx ->
+                Obs.Metrics.incr ~labels:[ ("client", track) ] "fleet.ops";
+                (* the probe-site pattern: emission guarded on the
+                   tracer and on [keep], children tagged with the op *)
+                if Obs.Trace.on () && Obs.Causal.keep ctx then begin
+                  let sp =
+                    Obs.Trace.span ~track
+                      ~args:(Obs.Causal.arg ctx [])
+                      ~ts:(now ()) ~cat:"cache" ~name:"lookup" ()
+                  in
+                  Obs.Trace.finish ~ts:(now () +. 0.001) sp
+                end)
+          done));
+  (* metrics: the budget admits [budget] client labels, the rest fold
+     into "other"; nothing is lost *)
+  Alcotest.(check (option int))
+    "budget recorded" (Some budget)
+    (Obs.Metrics.label_budget m);
+  Alcotest.(check int)
+    "series count bounded by budget + other" (budget + 1)
+    (Obs.Metrics.series_count m);
+  let series = Obs.Metrics.counters_with m "fleet.ops" in
+  Alcotest.(check int)
+    "label cardinality capped at budget + other" (budget + 1)
+    (List.length series);
+  Alcotest.(check int)
+    "all 1000 increments accounted" n_clients
+    (List.fold_left (fun a (_, n) -> a + n) 0 series);
+  Alcotest.(check int)
+    "overflow folded into the other series"
+    (n_clients - budget)
+    (Obs.Metrics.counter_value m ~labels:[ ("client", "other") ] "fleet.ops");
+  (* traces: head sampling kept exactly one op in [keep_one_in], and
+     every kept tree is complete *)
+  let run = Obs.Analyze.of_chrome ~label:"fleet" (Obs.Chrome.to_string tr) in
+  Alcotest.(check int)
+    "sampled op count" (n_clients / keep_one_in)
+    (List.length run.Obs.Analyze.ops);
+  Alcotest.(check int) "complete trees" 0 run.Obs.Analyze.orphan_spans;
+  List.iter
+    (fun o ->
+      Alcotest.(check string) "kept op class" "read" o.Obs.Analyze.cls)
+    run.Obs.Analyze.ops
+
+(* ---- flight recorder: a bounded ring behind the ordinary probe
+   sites, snapshot on demand ---- *)
+
+let test_flight_recorder () =
+  (* with nothing installed, minting is free and yields the empty
+     context *)
+  Alcotest.(check bool)
+    "mint with tracing off" true
+    (Obs.Causal.is_none (Obs.Causal.mint ()));
+  (* a ring tracer keeps counting but retains a bounded window *)
+  let tr = Obs.Trace.create ~limit:64 () in
+  Alcotest.(check int) "ring bound recorded" 64 (Obs.Trace.limit tr);
+  Obs.Trace.with_tracer tr (fun () ->
+      for i = 1 to 1000 do
+        Obs.Trace.instant ~ts:(float_of_int i) ~cat:"x" ~name:"tick" ()
+      done);
+  Alcotest.(check int) "all emits counted" 1000 (Obs.Trace.count tr);
+  Alcotest.(check bool)
+    "ring retains a bounded window" true
+    (List.length (Obs.Trace.events tr) < 1000);
+  (* arm the recorder, run the real workload through the ordinary
+     probe sites, snapshot as a post-mortem would *)
+  Obs.Flight.arm ~limit:256 ();
+  Alcotest.(check bool) "armed" true (Obs.Flight.armed ());
+  run_sim scenario;
+  Obs.Flight.capture ~reason:"test oracle";
+  (match Obs.Flight.last () with
+  | None -> Alcotest.fail "no flight capture"
+  | Some (reason, json) ->
+      Alcotest.(check string) "capture reason" "test oracle" reason;
+      (* the dump is well-formed Chrome JSON holding recent events
+         with real phases and timestamps *)
+      let entries =
+        match Obs.Json.member "traceEvents" (Obs.Json.parse json) with
+        | Some (Obs.Json.Arr es) -> es
+        | _ -> Alcotest.fail "no traceEvents in flight dump"
+      in
+      let phased =
+        List.filter
+          (fun e ->
+            match Obs.Json.member "ph" e with
+            | Some ph -> Obs.Json.str ph <> None
+            | None -> false)
+          entries
+      in
+      Alcotest.(check bool) "ring dump non-empty" true (phased <> []);
+      Alcotest.(check bool)
+        "entries carry numeric timestamps" true
+        (List.for_all
+           (fun e ->
+             match Obs.Json.member "ts" e with
+             | Some ts -> Obs.Json.num ts <> None
+             | None -> true (* metadata entries have no ts *))
+           phased));
+  Obs.Flight.disarm ();
+  Alcotest.(check bool) "disarmed" false (Obs.Flight.armed ());
+  Alcotest.(check (option (pair string string)))
+    "capture forgotten on disarm" None (Obs.Flight.last ())
+
+let () =
+  Alcotest.run "causal"
+    [
+      ( "analyzer",
+        [
+          Alcotest.test_case "callbacks flow-linked" `Slow
+            test_callbacks_flow_linked;
+          Alcotest.test_case "report deterministic" `Slow
+            test_report_deterministic;
+          Alcotest.test_case "sampled trees complete" `Slow
+            test_sampled_trees_complete;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "1000-client fleet budget" `Quick
+            test_fleet_observability_budget;
+          Alcotest.test_case "flight recorder ring" `Quick
+            test_flight_recorder;
+        ] );
+    ]

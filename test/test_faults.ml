@@ -51,7 +51,7 @@ let snfs_client w name =
    re-execution of a retried request cannot hide *)
 let serve_echo rpc host executions =
   Netsim.Rpc.serve rpc host ~prog:"echo" ~threads:4
-    (fun ~caller:_ ~proc:_ dec ->
+    (fun ~caller:_ ~ctx:_ ~proc:_ dec ->
       let x = Xdr.Dec.int32 dec in
       let n = try Hashtbl.find executions x with Not_found -> 0 in
       Hashtbl.replace executions x (n + 1);

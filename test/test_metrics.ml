@@ -172,7 +172,10 @@ let test_latency_outcomes () =
   Alcotest.(check int) "success count" 1
     (Stats.Histogram.count (Obs.Latency.histogram lat ~prog:"p" ~proc:"x"));
   let table = Obs.Latency.table lat in
-  Alcotest.(check bool) "err column" true (contains table "err");
+  (* successes and timeouts each get their own outcome row *)
+  Alcotest.(check bool) "outcome column" true (contains table "outcome");
+  Alcotest.(check bool) "ok row" true (contains table "ok");
+  Alcotest.(check bool) "timeout row" true (contains table "timeout");
   (* a procedure with only timeouts still gets a row *)
   Alcotest.(check bool) "timeout-only row" true (contains table "p.y")
 

@@ -14,7 +14,7 @@ let run_sim f =
   | Some v -> v
   | None -> Alcotest.fail "simulation main process did not complete"
 
-let echo_handler ~caller:_ ~proc:_ dec =
+let echo_handler ~caller:_ ~ctx:_ ~proc:_ dec =
   let s = Xdr.Dec.string dec in
   let e = Xdr.Enc.create () in
   Xdr.Enc.string e ("echo:" ^ s);
@@ -103,7 +103,7 @@ let test_duplicate_execution_suppressed () =
   run_sim (fun e ->
       let net, rpc, client, server = setup e in
       let executions = ref 0 in
-      let slow_handler ~caller:_ ~proc:_ _dec =
+      let slow_handler ~caller:_ ~ctx:_ ~proc:_ _dec =
         incr executions;
         Sim.Engine.sleep e 3.0;
         (* longer than the first client timeout *)
@@ -126,13 +126,13 @@ let test_server_calls_client_back () =
       let callback_received = ref false in
       let _client_svc =
         Netsim.Rpc.serve rpc client ~prog:"cb" ~threads:2
-          (fun ~caller:_ ~proc:_ _dec ->
+          (fun ~caller:_ ~ctx:_ ~proc:_ _dec ->
             callback_received := true;
             { Netsim.Rpc.data = encode_string "ok"; bulk = 0 })
       in
       let _server_svc =
         Netsim.Rpc.serve rpc server ~prog:"main" ~threads:2
-          (fun ~caller ~proc:_ _dec ->
+          (fun ~caller ~ctx:_ ~proc:_ _dec ->
             (* server calls the client back before replying *)
             let r =
               Netsim.Rpc.call rpc ~src:server ~dst:caller ~prog:"cb"
@@ -155,7 +155,7 @@ let test_thread_pool_bound () =
       let _, rpc, client, server = setup e in
       let active = ref 0 in
       let max_active = ref 0 in
-      let handler ~caller:_ ~proc:_ _dec =
+      let handler ~caller:_ ~ctx:_ ~proc:_ _dec =
         incr active;
         max_active := max !max_active !active;
         Sim.Engine.sleep e 0.5;
@@ -218,7 +218,7 @@ let test_bigger_messages_slower () =
         let _, rpc, client, server = setup e in
         let _svc =
           Netsim.Rpc.serve rpc server ~prog:"x" ~threads:2
-            (fun ~caller:_ ~proc:_ _ ->
+            (fun ~caller:_ ~ctx:_ ~proc:_ _ ->
               { Netsim.Rpc.data = Bytes.create 16; bulk = 0 })
         in
         ignore

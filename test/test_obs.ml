@@ -268,7 +268,10 @@ let test_spans_well_formed () =
                 (Hashtbl.mem ended ev.id);
               Hashtbl.replace ended ev.id ())
       | Obs.Trace.Instant ->
-          Alcotest.(check int) "instants carry no span id" 0 ev.id)
+          Alcotest.(check int) "instants carry no span id" 0 ev.id
+      | Obs.Trace.Flow_start | Obs.Trace.Flow_end ->
+          Alcotest.(check bool) "flows carry the inducing op id" true
+            (ev.id > 0))
     events;
   Hashtbl.iter
     (fun id _ ->
@@ -308,15 +311,50 @@ let test_chrome_export_parses () =
       ignore (num_member "tid" entry);
       match str_member "ph" entry with
       | "M" -> ()
-      | "b" | "e" ->
+      | "b" | "e" | "s" ->
           ignore (num_member "id" entry);
           ignore (num_member "ts" entry);
           ignore (str_member "cat" entry)
+      | "f" ->
+          (* arrow head binds to the enclosing slice's end *)
+          Alcotest.(check string) "flow binding point" "e"
+            (str_member "bp" entry);
+          ignore (num_member "id" entry);
+          ignore (num_member "ts" entry)
       | "i" ->
           Alcotest.(check string) "instant scope" "t" (str_member "s" entry);
           ignore (num_member "ts" entry)
       | ph -> Alcotest.fail (Printf.sprintf "unexpected phase %S" ph))
     entries
+
+(* every server-side flow arrow must point at a minted client op: the
+   flow id IS the inducing operation's root span id *)
+let test_flow_ids_match_inducing_op () =
+  let tr = traced_scenario () in
+  let events = Obs.Trace.events tr in
+  let op_ids = Hashtbl.create 64 in
+  List.iter
+    (fun (ev : Obs.Trace.event) ->
+      if ev.kind = Obs.Trace.Begin && ev.cat = "op" then
+        Hashtbl.replace op_ids ev.id ())
+    events;
+  let starts = ref 0 and ends = ref 0 in
+  List.iter
+    (fun (ev : Obs.Trace.event) ->
+      match ev.kind with
+      | Obs.Trace.Flow_start ->
+          incr starts;
+          Alcotest.(check bool) "flow start id is a client op" true
+            (Hashtbl.mem op_ids ev.id)
+      | Obs.Trace.Flow_end ->
+          incr ends;
+          Alcotest.(check bool) "flow end id is a client op" true
+            (Hashtbl.mem op_ids ev.id)
+      | _ -> ())
+    events;
+  (* the write-sharing scenario provokes at least one SNFS callback *)
+  Alcotest.(check bool) "callbacks induced flow arrows" true (!starts > 0);
+  Alcotest.(check bool) "every arrow lands" true (!ends > 0)
 
 let test_percentiles_exact () =
   let lat = Obs.Latency.create () in
@@ -431,6 +469,8 @@ let () =
         [
           Alcotest.test_case "valid JSON with expected shape" `Quick
             test_chrome_export_parses;
+          Alcotest.test_case "flow ids match inducing op" `Quick
+            test_flow_ids_match_inducing_op;
         ] );
       ( "latency",
         Alcotest.test_case "exact percentiles" `Quick test_percentiles_exact
