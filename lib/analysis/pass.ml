@@ -1,6 +1,8 @@
 type ctx = {
   files : Source.t list;
   mutable_fields : (string, unit) Hashtbl.t;
+  cg : Callgraph.t;
+  may_yield : (string, unit) Hashtbl.t;
 }
 
 type t = { name : string; doc : string; run : ctx -> Finding.t list }

@@ -7,18 +7,21 @@ let name = "domain-safety"
    inside a fanned job must not touch shared mutable process state
    unless that state is an [Atomic.t] or lives behind a [Domain.DLS]
    key. This pass enforces the contract structurally: it classifies
-   every toplevel binding in lib/ and bench/ as safe (Atomic, DLS key)
-   or mutable (ref cell, mutable container, mutable-record or array
-   literal), builds a per-module call graph by suffix-resolving
-   identifier paths, marks the Domain fan-out entry points
-   ([Domain.spawn] and [Experiments.Sweep.map] job thunks — which is
-   also how [Campaign] jobs run), and reports any mutable global
-   reachable from fanned code. A second rule keeps [Domain.DLS] slots
-   private to their owning wrapper module: a qualified
-   [Domain.DLS.get M.key] access from outside the defining module is
-   exactly how per-domain isolation gets bypassed. *)
+   every toplevel binding as safe (Atomic, DLS key) or mutable (ref
+   cell, mutable container, mutable-record or array literal), marks the
+   Domain fan-out entry points ([Domain.spawn] and
+   [Experiments.Sweep.map] job thunks — which is also how [Campaign]
+   jobs run), and reports any mutable global reachable from fanned code
+   over the whole-program call graph, so a helper in another library
+   that pokes a shared table is caught even though the fan-out site
+   never names it. A second rule keeps [Domain.DLS] slots private to
+   their owning wrapper module: a qualified [Domain.DLS.get M.key]
+   access from outside the defining module is exactly how per-domain
+   isolation gets bypassed. *)
 
-let in_scope path = Source.under "lib" path || Source.under "bench" path
+let in_scope path =
+  Source.under "lib" path || Source.under "bench" path
+  || Source.under "examples" path
 
 (* applications whose thunk/function argument runs in other domains *)
 let fanout_suffixes = [ [ "Domain"; "spawn" ]; [ "Sweep"; "map" ] ]
@@ -80,114 +83,61 @@ let classify mutable_fields e =
   | Pexp_array _ -> Mutable "array literal"
   | _ -> Inert
 
-(* ---- the per-tree model ---- *)
+let is_lambda e =
+  match e.pexp_desc with Pexp_fun _ | Pexp_function _ -> true | _ -> false
 
-type global = {
-  g_path : string;
-  g_line : int;
-  g_col : int;
-  g_what : string;
-}
-
-type fn = { f_refs : (string * string) list (* resolved (module, name) *) }
-
-type root = {
-  r_label : string; (* "<Module>.<binding>" of the fan-out site *)
-  r_fns : (string * string) list; (* thunk functions handed to the fan-out *)
-  r_refs : (string * string) list; (* refs of inline thunk lambdas *)
-}
-
-(* every identifier reference in [e], resolved against [current]
-   (bare idents) or by its trailing [Module; name] pair *)
-let refs_of current e =
+(* every raw identifier path mentioned in [e], in source order *)
+let raw_paths e =
   let acc = ref [] in
   let expr it e =
     (match e.pexp_desc with
     | Pexp_ident { txt; _ } -> (
         match Astutil.flatten txt with
-        | Some [ x ] -> acc := (current, x) :: !acc
-        | Some p -> (
-            match List.rev p with
-            | x :: m :: _ -> acc := (m, x) :: !acc
-            | _ -> ())
+        | Some p -> acc := p :: !acc
         | None -> ())
     | _ -> ());
     Ast_iterator.default_iterator.expr it e
   in
   let it = { Ast_iterator.default_iterator with expr } in
   it.expr it e;
-  List.sort_uniq compare !acc
+  List.rev !acc
 
-let is_lambda e =
-  match e.pexp_desc with Pexp_fun _ | Pexp_function _ -> true | _ -> false
-
-(* Walk one file: register its toplevel (and nested-module toplevel)
-   bindings as functions and classified globals, and collect fan-out
-   roots and cross-module DLS accesses. *)
-let scan_file mutable_fields (file : Source.t) structure ~functions ~globals
-    ~roots ~findings =
-  let rec walk_structure modname items =
-    List.iter
-      (fun item ->
-        match item.pstr_desc with
-        | Pstr_module
-            { pmb_name = { txt = Some sub; _ };
-              pmb_expr = { pmod_desc = Pmod_structure inner; _ };
-              _
-            } ->
-            walk_structure sub inner
-        | Pstr_value (_, vbs) ->
-            List.iter
-              (fun vb ->
-                match Astutil.pat_names vb.pvb_pat with
-                | [ x ] -> scan_binding modname x vb
-                | _ -> scan_expr modname (modname ^ ".<toplevel>") vb.pvb_expr)
-              vbs
-        | _ -> ())
-      items
-  and scan_binding modname x vb =
-    (match classify mutable_fields vb.pvb_expr with
-    | Safe_atomic | Dls_key | Inert -> ()
-    | Mutable what ->
-        let line, col = Astutil.pos vb.pvb_expr.pexp_loc in
-        Hashtbl.replace globals (modname, x)
-          { g_path = file.Source.path; g_line = line; g_col = col;
-            g_what = what });
-    Hashtbl.replace functions (modname, x)
-      { f_refs = refs_of modname vb.pvb_expr };
-    scan_expr modname (modname ^ "." ^ x) vb.pvb_expr
-  and scan_expr modname label e =
+(* Walk one file: collect fan-out roots (resolved through the call
+   graph) and the cross-module DLS-access findings. *)
+let scan_file cg (file : Source.t) structure ~roots ~findings =
+  let resolve module_path p =
+    Callgraph.resolve_at cg ~file:file.Source.path ~module_path p
+  in
+  let scan_expr module_path label binding_body =
+    let add label id = roots := (label, id) :: !roots in
+    let add_refs_of e =
+      List.iter
+        (fun rp -> List.iter (add label) (resolve module_path rp))
+        (raw_paths e)
+    in
     let expr it e =
       (match (Astutil.uncurry_pipes e).pexp_desc with
       | Pexp_apply (head, args) -> (
           match Astutil.path_of_expr head with
-          | Some p
-            when List.exists (Astutil.has_suffix p) fanout_suffixes ->
-              let fns = ref [] and inline = ref [] and opaque = ref false in
+          | Some p when List.exists (Astutil.has_suffix p) fanout_suffixes ->
+              let opaque = ref false in
               List.iter
                 (fun (_, a) ->
-                  if is_lambda a then inline := refs_of modname a @ !inline
+                  if is_lambda a then add_refs_of a
                   else
                     match Astutil.path_of_expr a with
-                    | Some [ x ] ->
-                        if Hashtbl.mem functions (modname, x) then
-                          fns := (modname, x) :: !fns
-                        else opaque := true
                     | Some pa -> (
-                        match List.rev pa with
-                        | x :: m :: _ -> fns := (m, x) :: !fns
-                        | _ -> ())
+                        match resolve module_path pa with
+                        | [] ->
+                            (* a thunk the graph cannot name (a local
+                               function or a parameter): over-approximate
+                               with everything the enclosing binding
+                               references *)
+                            opaque := true
+                        | ids -> List.iter (add label) ids)
                     | None -> () (* data argument (lists, labels) *))
                 args;
-              (* a thunk the linter cannot name (a local function or a
-                 parameter): over-approximate with everything the
-                 enclosing binding references *)
-              if !opaque then inline := refs_of modname e @ !inline;
-              roots :=
-                { r_label = label;
-                  r_fns = List.sort_uniq compare !fns;
-                  r_refs = List.sort_uniq compare !inline }
-                :: !roots
+              if !opaque then add_refs_of binding_body
           | Some p
             when Astutil.has_suffix p [ "Domain"; "DLS"; "get" ]
                  || Astutil.has_suffix p [ "Domain"; "DLS"; "set" ] -> (
@@ -211,76 +161,77 @@ let scan_file mutable_fields (file : Source.t) structure ~functions ~globals
       Ast_iterator.default_iterator.expr it e
     in
     let it = { Ast_iterator.default_iterator with expr } in
-    it.expr it e
+    it.expr it binding_body
   in
-  walk_structure (Source.module_name file.Source.path) structure
+  let rec walk_structure module_path items =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_module { pmb_name = { txt = Some sub; _ }; pmb_expr; _ } ->
+            let rec unwrap_mod me =
+              match me.pmod_desc with
+              | Pmod_structure inner ->
+                  walk_structure (module_path @ [ sub ]) inner
+              | Pmod_functor (_, body) -> unwrap_mod body
+              | Pmod_constraint (me, _) -> unwrap_mod me
+              | _ -> ()
+            in
+            unwrap_mod pmb_expr
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                let label =
+                  match Astutil.pat_names vb.pvb_pat with
+                  | [ x ] -> String.concat "." (module_path @ [ x ])
+                  | _ -> String.concat "." module_path ^ ".<toplevel>"
+                in
+                scan_expr module_path label vb.pvb_expr)
+              vbs
+        | _ -> ())
+      items
+  in
+  walk_structure [ Source.module_name file.Source.path ] structure
 
-let run ctx =
-  let functions = Hashtbl.create 512 in
-  let globals = Hashtbl.create 32 in
+let run (ctx : Pass.ctx) =
+  let cg = ctx.Pass.cg in
+  (* classified mutable globals, keyed by call-graph node id *)
+  let globals : (string, string * int * int * string) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  List.iter
+    (fun (n : Callgraph.node) ->
+      if in_scope n.Callgraph.path then
+        match classify ctx.Pass.mutable_fields n.Callgraph.body with
+        | Mutable what ->
+            let line, col = Astutil.pos n.Callgraph.body.pexp_loc in
+            Hashtbl.replace globals n.Callgraph.id
+              (n.Callgraph.path, line, col, what)
+        | Safe_atomic | Dls_key | Inert -> ())
+    (Callgraph.nodes cg);
   let roots = ref [] in
   let findings = ref [] in
   List.iter
     (fun (f : Source.t) ->
       match f.Source.impl with
       | Some structure when in_scope f.Source.path ->
-          scan_file ctx.Pass.mutable_fields f structure ~functions ~globals
-            ~roots ~findings
+          scan_file cg f structure ~roots ~findings
       | _ -> ())
     ctx.Pass.files;
-  (* reachability from every fan-out root, breadth-first; [origin]
-     remembers, per function, the lexicographically first root label so
-     messages are deterministic *)
-  let origin : (string * string, string) Hashtbl.t = Hashtbl.create 256 in
-  let queue = Queue.create () in
-  let enqueue label key =
-    if Hashtbl.mem functions key then
-      match Hashtbl.find_opt origin key with
-      | Some prev when prev <= label -> ()
-      | _ ->
-          Hashtbl.replace origin key label;
-          Queue.add key queue
-  in
-  let flagged : (string * string, string) Hashtbl.t = Hashtbl.create 8 in
-  let flag label key =
-    match Hashtbl.find_opt flagged key with
-    | Some prev when prev <= label -> ()
-    | _ -> Hashtbl.replace flagged key label
-  in
-  let scan_refs label refs =
-    List.iter
-      (fun key ->
-        if Hashtbl.mem globals key then flag label key;
-        enqueue label key)
-      refs
-  in
-  List.iter
-    (fun r ->
-      List.iter (enqueue r.r_label) r.r_fns;
-      scan_refs r.r_label r.r_refs)
-    (List.sort compare !roots);
-  let rec drain () =
-    match Queue.take_opt queue with
-    | None -> ()
-    | Some key ->
-        let label = Hashtbl.find origin key in
-        scan_refs label (Hashtbl.find functions key).f_refs;
-        drain ()
-  in
-  drain ();
+  let reached = Callgraph.reachable cg (List.sort_uniq compare !roots) in
   Hashtbl.iter
-    (fun (m, g) label ->
-      let info = Hashtbl.find globals (m, g) in
-      findings :=
-        Finding.v ~path:info.g_path ~line:info.g_line ~col:info.g_col
-          ~rule:name
-          (Printf.sprintf
-             "toplevel mutable state '%s.%s' (%s) is reachable from the \
-              Domain fan-out in '%s' but is neither Atomic.t nor behind a \
-              Domain.DLS key — parallel sweep jobs would share it"
-             m g info.g_what label)
-        :: !findings)
-    flagged;
+    (fun id label ->
+      match Hashtbl.find_opt globals id with
+      | Some (path, line, col, what) ->
+          findings :=
+            Finding.v ~path ~line ~col ~rule:name
+              (Printf.sprintf
+                 "toplevel mutable state '%s' (%s) is reachable from the \
+                  Domain fan-out in '%s' but is neither Atomic.t nor behind \
+                  a Domain.DLS key — parallel sweep jobs would share it"
+                 id what label)
+            :: !findings
+      | None -> ())
+    reached;
   !findings
 
 let pass =

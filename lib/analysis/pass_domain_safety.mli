@@ -1,24 +1,27 @@
-(** Domain-safety pass.
+(** Domain-safety pass, interprocedural edition.
 
     Parallel campaign sweeps ([Experiments.Sweep.map] under
     [Campaign.run ~jobs], and raw [Domain.spawn]) only stay
     byte-identical to sequential runs if fanned code never touches
     shared mutable process state except through [Atomic.t] or a
     [Domain.DLS] key (DESIGN §11.2). This pass checks that contract
-    statically over [lib/] and [bench/]:
+    statically over [lib/], [bench/] and [examples/]:
 
     - classify every toplevel binding (including bindings at the top of
-      nested modules): [Atomic.make] and [Domain.DLS.new_key] are safe;
-      [ref], mutable containers ([Hashtbl]/[Queue]/[Stack]/[Buffer]/
-      [Bytes]/[Array] constructors), mutable-record literals and array
-      literals are shared mutable globals;
-    - build a call graph by suffix-resolving identifier paths to their
-      trailing [Module.name] pair (bare names resolve to the enclosing
-      module), seed it with the thunks handed to the fan-out points —
-      inline lambdas contribute their references directly; a thunk the
-      pass cannot name (a local function, as in [Sweep.map] itself)
+      nested modules and functor bodies): [Atomic.make] and
+      [Domain.DLS.new_key] are safe; [ref], mutable containers
+      ([Hashtbl]/[Queue]/[Stack]/[Buffer]/[Bytes]/[Array] constructors),
+      mutable-record literals and array literals are shared mutable
+      globals;
+    - seed the whole-program call graph with the thunks handed to the
+      fan-out points — inline lambdas contribute their resolved
+      references directly; a thunk the graph cannot name (a local
+      function or a parameter, as in [Sweep.map] itself)
       over-approximates to everything the enclosing toplevel binding
-      references — and walk reachability;
+      references — and walk reachability through aliases, [open]s,
+      wrapper prefixes and functor applications, so a helper in another
+      library that pokes a shared table is caught even though the
+      fan-out site never names it;
     - report every mutable global reachable from fanned code at its
       definition site, naming the (lexicographically first) fan-out
       entry point that reaches it;
@@ -29,6 +32,6 @@
 
     This is the static twin of [test_sweep]'s seeded global-slot-leak
     runtime test: the same bug class, caught at lint time with
-    inter-module reachability. *)
+    whole-program reachability. *)
 
 val pass : Pass.t

@@ -1,0 +1,27 @@
+(** Server fan-out cost lint (ROADMAP item 1: the recall storm).
+
+    Per-request server work must stay O(1) for the paper's §4.2 numbers
+    to mean anything: iterating the whole client or open-file table
+    while answering one RPC turns an open into an O(clients) scan, and
+    a callback broadcast into O(clients) blocking round-trips.
+
+    The server-reachable set is the whole-program call-graph closure of
+    every [Rpc.serve] application — the handler argument plus every
+    toplevel binding of a serve-applying file (dispatch and spawned
+    maintenance loops alike). Inside it the pass flags:
+
+    - iteration whose per-element function may yield (inferred
+      interprocedurally): an O(n) blocking fan-out per request;
+    - [Hashtbl.iter]/[Hashtbl.fold] over a live table;
+    - [List] iteration over a {i table projection} — a function
+      inferred, by fixpoint over application heads, to build its
+      result from a table fold (e.g. [State_table.files],
+      [clients_with_state]).
+
+    A genuinely bounded site is waived in place with
+    [(* snfs-fanout: bounded <reason> *)] on the flagged or previous
+    line, so the bound is documented where the loop lives. Unwaived
+    sites on the real tree are the measured backlog for ROADMAP item 1
+    and live in the committed lint baseline. *)
+
+val pass : Pass.t

@@ -2,56 +2,11 @@ open Parsetree
 
 let name = "yield-race"
 
-(* Applications whose head matches one of these suffixes relinquish
-   the processor: the world may be rewritten before they return. *)
-let blocking_suffixes =
-  [
-    [ "Engine"; "sleep" ];
-    [ "Engine"; "suspend" ];
-    [ "Engine"; "yield" ];
-    [ "Ivar"; "read" ];
-    [ "Ivar"; "read_timeout" ];
-    [ "Mailbox"; "recv" ];
-    [ "Mailbox"; "recv_timeout" ];
-    [ "Resource"; "acquire" ];
-    [ "Resource"; "use" ];
-    [ "Semaphore"; "acquire" ];
-    [ "Semaphore"; "with_unit" ];
-    [ "Waitgroup"; "wait" ];
-    [ "Rpc"; "call" ];
-    [ "Disk"; "read" ];
-    [ "Disk"; "write" ];
-    [ "Cache"; "read" ];
-    [ "Cache"; "write" ];
-    [ "Cache"; "flush_file" ];
-    [ "Cache"; "flush_all" ];
-    [ "Cache"; "flush_block" ];
-    [ "Cache"; "wait_pending" ];
-    [ "Wire"; "read" ];
-    [ "Wire"; "write" ];
-    [ "Wire"; "lookup" ];
-    [ "Wire"; "getattr" ];
-    [ "Wire"; "setattr" ];
-    [ "Wire"; "create" ];
-    [ "Wire"; "mkdir" ];
-    [ "Wire"; "remove" ];
-    [ "Wire"; "rmdir" ];
-    [ "Wire"; "rename" ];
-    [ "Wire"; "readdir" ];
-    [ "Wire"; "snfs_open" ];
-    [ "Wire"; "snfs_close" ];
-  ]
-
-(* These take a thunk that runs in a separate, later task: blocking
-   inside it does not block the caller. *)
-let deferring_suffixes =
-  [
-    [ "Engine"; "spawn" ];
-    [ "Engine"; "after" ];
-    [ "Engine"; "at" ];
-    [ "Metrics"; "register_poll" ];
-  ]
-
+(* The primitive blocking/deferring vocabularies live with the effect
+   inference now; this pass consumes the inferred per-binding
+   summaries. *)
+let blocking_suffixes = Effects.blocking_suffixes
+let deferring_suffixes = Effects.deferring_suffixes
 let suffix_in p suffixes = List.exists (Astutil.has_suffix p) suffixes
 
 (* where a tainted binding's value came from, for the
@@ -67,13 +22,12 @@ type entry = {
   mutable reported : bool;
 }
 
-(* ---- per-module fixpoint: which local lets block transitively ---- *)
-
 let is_lambda e =
   match e.pexp_desc with Pexp_fun _ | Pexp_function _ -> true | _ -> false
 
-(* does [e] apply something blocking, given the current local set?
-   Lambdas passed to deferring primitives are not entered. *)
+(* ---- the legacy per-module fixpoint (kept as the comparison
+   baseline: [intra] proves what the whole-program summaries add) ---- *)
+
 let body_blocks local e =
   let found = ref false in
   let rec expr it e =
@@ -128,6 +82,10 @@ let local_blocking structure =
 
 (* ---- the main walk ---- *)
 
+let in_scope path =
+  Source.under "lib" path || Source.under "bench" path
+  || Source.under "examples" path
+
 let taint_source mutable_fields e =
   let e = Astutil.uncurry_pipes e in
   match e.pexp_desc with
@@ -156,156 +114,210 @@ let taint_source mutable_fields e =
       | _ -> None)
   | _ -> None
 
-let check_file (file : Source.t) mutable_fields =
+(* Check one file against a blocking-head judgement. [blocking] is
+   consulted per application head, in the scope of the module path the
+   application appears under. *)
+let check_file ~blocking (file : Source.t) mutable_fields =
   match file.Source.impl with
-  | Some structure
-    when Source.under "lib" file.Source.path
-         || Source.under "bench" file.Source.path ->
-      let local = local_blocking structure in
+  | Some structure when in_scope file.Source.path ->
       let findings = ref [] in
-      let report en loc =
-        if not en.reported then begin
-          en.reported <- true;
-          let line, col = Astutil.pos loc in
-          findings :=
-            Finding.v ~path:file.Source.path ~line ~col ~rule:name
-              (Printf.sprintf
-                 "'%s' (%s, read at line %d) is used after a blocking call; \
-                  the state may have changed at the yield point — re-read it"
-                 en.ident en.what en.bound_line)
-            :: !findings
-        end
-      in
-      let is_blocking_head head =
-        match Astutil.path_of_expr head with
-        | Some p when suffix_in p blocking_suffixes -> true
-        | Some [ f ] when List.mem f local -> true
-        | _ -> false
-      in
-      let drop bound env =
-        List.filter (fun en -> not (List.mem en.ident bound)) env
-      in
-      let rec walk env e =
-        let e = Astutil.uncurry_pipes e in
-        match e.pexp_desc with
-        | Pexp_ident { txt = Lident x; _ } -> (
-            match List.find_opt (fun en -> en.ident = x) env with
-            | Some en when en.crossed -> report en e.pexp_loc
+      let check_under module_path structure_items =
+        let report en loc =
+          if not en.reported then begin
+            en.reported <- true;
+            let line, col = Astutil.pos loc in
+            findings :=
+              Finding.v ~path:file.Source.path ~line ~col ~rule:name
+                (Printf.sprintf
+                   "'%s' (%s, read at line %d) is used after a blocking \
+                    call; the state may have changed at the yield point — \
+                    re-read it"
+                   en.ident en.what en.bound_line)
+              :: !findings
+          end
+        in
+        let is_blocking_head head =
+          match Astutil.path_of_expr head with
+          | Some p -> blocking ~module_path p
+          | None -> false
+        in
+        let drop bound env =
+          List.filter (fun en -> not (List.mem en.ident bound)) env
+        in
+        let rec walk env e =
+          let e = Astutil.uncurry_pipes e in
+          match e.pexp_desc with
+          | Pexp_ident { txt = Lident x; _ } -> (
+              match List.find_opt (fun en -> en.ident = x) env with
+              | Some en when en.crossed -> report en e.pexp_loc
+              | _ -> ())
+          | Pexp_let (_, vbs, body) ->
+              List.iter (fun vb -> walk env vb.pvb_expr) vbs;
+              let env' =
+                List.fold_left
+                  (fun env vb ->
+                    match Astutil.pat_names vb.pvb_pat with
+                    | [ x ] -> (
+                        let env = drop [ x ] env in
+                        match taint_source mutable_fields vb.pvb_expr with
+                        | Some (what, origin) ->
+                            let line, _ = Astutil.pos vb.pvb_expr.pexp_loc in
+                            {
+                              ident = x;
+                              bound_line = line;
+                              what;
+                              origin;
+                              crossed = false;
+                              reported = false;
+                            }
+                            :: env
+                        | None -> env)
+                    | names -> drop names env)
+                  env vbs
+              in
+              walk env' body
+          | Pexp_setfield (obj, { txt; _ }, rhs) ->
+              (* bump-cell exemption: a binding used as a *store* target
+                 after a yield is not a stale read — the cell is a
+                 persistent identity object being updated in place (the
+                 last_heard float-ref / per-caller cell idiom). Only
+                 non-trivial receiver expressions are walked. *)
+              (match obj.pexp_desc with
+              | Pexp_ident { txt = Lident _; _ } -> ()
+              | _ -> walk env obj);
+              walk env rhs;
+              (* claim-and-clear: overwriting the field a binding was read
+                 from before any yield transfers ownership of the old
+                 value to the binding — it is no longer a cached view *)
+              (match Astutil.flatten txt with
+              | Some p -> (
+                  match List.rev p with
+                  | f :: _ ->
+                      List.iter
+                        (fun en ->
+                          if en.origin = Field f && not en.crossed then
+                            en.reported <- true)
+                        env
+                  | [] -> ())
+              | None -> ())
+          | Pexp_apply
+              ( { pexp_desc = Pexp_ident { txt = Lident ":="; _ }; _ },
+                [ (_, lhs); (_, rhs) ] ) ->
+              (* bump-cell exemption, ref flavour: [cell := now] after a
+                 yield updates the cell, it does not consume its stale
+                 contents *)
+              (match lhs.pexp_desc with
+              | Pexp_ident { txt = Lident _; _ } -> ()
+              | _ -> walk env lhs);
+              walk env rhs;
+              (match lhs.pexp_desc with
+              | Pexp_ident { txt = Lident r; _ } ->
+                  List.iter
+                    (fun en ->
+                      if en.origin = Refcell r && not en.crossed then
+                        en.reported <- true)
+                    env
+              | _ -> ())
+          | Pexp_apply (head, args) ->
+              (* arguments evaluate before the call returns: uses of
+                 already-crossed bindings in them are still reported, but
+                 a binding does not cross at its own blocking call's
+                 argument position *)
+              walk env head;
+              (match Astutil.path_of_expr head with
+              | Some p when suffix_in p deferring_suffixes ->
+                  List.iter
+                    (fun (_, a) ->
+                      if is_lambda a then walk [] a else walk env a)
+                    args
+              | _ -> List.iter (fun (_, a) -> walk env a) args);
+              if is_blocking_head head then
+                List.iter (fun en -> en.crossed <- true) env
+          | Pexp_fun (_, default, pat, body) ->
+              Option.iter (walk env) default;
+              walk (drop (Astutil.pat_names pat) env) body
+          | Pexp_function cases | Pexp_match (_, cases) | Pexp_try (_, cases)
+            ->
+              (match e.pexp_desc with
+              | Pexp_match (s, _) | Pexp_try (s, _) -> walk env s
+              | _ -> ());
+              List.iter
+                (fun c ->
+                  let env' = drop (Astutil.pat_names c.pc_lhs) env in
+                  Option.iter (walk env') c.pc_guard;
+                  walk env' c.pc_rhs)
+                cases
+          | _ ->
+              let expr _it child = walk env child in
+              let it = { Ast_iterator.default_iterator with expr } in
+              Ast_iterator.default_iterator.expr it e
+        in
+        List.iter
+          (fun item ->
+            match item.pstr_desc with
+            | Pstr_value (_, vbs) ->
+                List.iter (fun vb -> walk [] vb.pvb_expr) vbs
             | _ -> ())
-        | Pexp_let (_, vbs, body) ->
-            List.iter (fun vb -> walk env vb.pvb_expr) vbs;
-            let env' =
-              List.fold_left
-                (fun env vb ->
-                  match Astutil.pat_names vb.pvb_pat with
-                  | [ x ] -> (
-                      let env = drop [ x ] env in
-                      match taint_source mutable_fields vb.pvb_expr with
-                      | Some (what, origin) ->
-                          let line, _ = Astutil.pos vb.pvb_expr.pexp_loc in
-                          {
-                            ident = x;
-                            bound_line = line;
-                            what;
-                            origin;
-                            crossed = false;
-                            reported = false;
-                          }
-                          :: env
-                      | None -> env)
-                  | names -> drop names env)
-                env vbs
-            in
-            walk env' body
-        | Pexp_setfield (obj, { txt; _ }, rhs) ->
-            (* bump-cell exemption: a binding used as a *store* target
-               after a yield is not a stale read — the cell is a
-               persistent identity object being updated in place (the
-               last_heard float-ref / per-caller cell idiom). Only
-               non-trivial receiver expressions are walked. *)
-            (match obj.pexp_desc with
-            | Pexp_ident { txt = Lident _; _ } -> ()
-            | _ -> walk env obj);
-            walk env rhs;
-            (* claim-and-clear: overwriting the field a binding was read
-               from before any yield transfers ownership of the old
-               value to the binding — it is no longer a cached view *)
-            (match Astutil.flatten txt with
-            | Some p -> (
-                match List.rev p with
-                | f :: _ ->
-                    List.iter
-                      (fun en ->
-                        if en.origin = Field f && not en.crossed then
-                          en.reported <- true)
-                      env
-                | [] -> ())
-            | None -> ())
-        | Pexp_apply
-            ( { pexp_desc = Pexp_ident { txt = Lident ":="; _ }; _ },
-              [ (_, lhs); (_, rhs) ] ) ->
-            (* bump-cell exemption, ref flavour: [cell := now] after a
-               yield updates the cell, it does not consume its stale
-               contents *)
-            (match lhs.pexp_desc with
-            | Pexp_ident { txt = Lident _; _ } -> ()
-            | _ -> walk env lhs);
-            walk env rhs;
-            (match lhs.pexp_desc with
-            | Pexp_ident { txt = Lident r; _ } ->
-                List.iter
-                  (fun en ->
-                    if en.origin = Refcell r && not en.crossed then
-                      en.reported <- true)
-                  env
-            | _ -> ())
-        | Pexp_apply (head, args) ->
-            (* arguments evaluate before the call returns: uses of
-               already-crossed bindings in them are still reported, but
-               a binding does not cross at its own blocking call's
-               argument position *)
-            walk env head;
-            (match Astutil.path_of_expr head with
-            | Some p when suffix_in p deferring_suffixes ->
-                List.iter
-                  (fun (_, a) ->
-                    if is_lambda a then walk [] a else walk env a)
-                  args
-            | _ -> List.iter (fun (_, a) -> walk env a) args);
-            if is_blocking_head head then
-              List.iter (fun en -> en.crossed <- true) env
-        | Pexp_fun (_, default, pat, body) ->
-            Option.iter (walk env) default;
-            walk (drop (Astutil.pat_names pat) env) body
-        | Pexp_function cases | Pexp_match (_, cases) | Pexp_try (_, cases)
-          ->
-            (match e.pexp_desc with
-            | Pexp_match (s, _) | Pexp_try (s, _) -> walk env s
-            | _ -> ());
-            List.iter
-              (fun c ->
-                let env' = drop (Astutil.pat_names c.pc_lhs) env in
-                Option.iter (walk env') c.pc_guard;
-                walk env' c.pc_rhs)
-              cases
-        | _ ->
-            let expr _it child = walk env child in
-            let it = { Ast_iterator.default_iterator with expr } in
-            Ast_iterator.default_iterator.expr it e
+          structure_items
       in
-      let value_binding _it vb = walk [] vb.pvb_expr in
-      let it = { Ast_iterator.default_iterator with value_binding } in
-      it.structure it structure;
+      (* nested modules re-enter with an extended module path, so head
+         resolution sees the right scope *)
+      let rec walk_structure module_path items =
+        check_under module_path items;
+        List.iter
+          (fun item ->
+            match item.pstr_desc with
+            | Pstr_module { pmb_name = { txt = Some sub; _ }; pmb_expr; _ }
+              ->
+                let rec unwrap me =
+                  match me.pmod_desc with
+                  | Pmod_structure inner ->
+                      walk_structure (module_path @ [ sub ]) inner
+                  | Pmod_functor (_, body) -> unwrap body
+                  | Pmod_constraint (me, _) -> unwrap me
+                  | _ -> ()
+                in
+                unwrap pmb_expr
+            | _ -> ())
+          items
+      in
+      walk_structure [ Source.module_name file.Source.path ] structure;
       !findings
   | _ -> []
+
+(* The legacy judgement: primitive suffixes plus the same-module
+   fixpoint. Exposed so the test suite can prove which races only the
+   whole-program summaries can see. *)
+let intra (ctx : Pass.ctx) =
+  List.concat_map
+    (fun (f : Source.t) ->
+      let local =
+        match f.Source.impl with
+        | Some structure when in_scope f.Source.path -> local_blocking structure
+        | _ -> []
+      in
+      let blocking ~module_path:_ p =
+        suffix_in p blocking_suffixes
+        || match p with [ x ] -> List.mem x local | _ -> false
+      in
+      check_file ~blocking f ctx.Pass.mutable_fields)
+    ctx.Pass.files
+
+let run (ctx : Pass.ctx) =
+  List.concat_map
+    (fun (f : Source.t) ->
+      let blocking ~module_path p =
+        Effects.blocking_head ctx.Pass.cg ctx.Pass.may_yield
+          ~file:f.Source.path ~module_path p
+      in
+      check_file ~blocking f ctx.Pass.mutable_fields)
+    ctx.Pass.files
 
 let pass =
   {
     Pass.name;
-    doc = "mutable-state reads held live across cooperative yield points";
-    run =
-      (fun ctx ->
-        List.concat_map
-          (fun f -> check_file f ctx.Pass.mutable_fields)
-          ctx.Pass.files);
+    doc =
+      "mutable-state reads held live across (interprocedurally inferred) \
+       yield points";
+    run;
   }

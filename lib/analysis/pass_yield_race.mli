@@ -1,4 +1,4 @@
-(** Yield-point race detector.
+(** Yield-point race detector, interprocedural edition.
 
     The simulator is cooperatively scheduled: state can only change
     under our feet across a blocking point ([Rpc.call], [Engine.sleep],
@@ -9,19 +9,25 @@
     hazard — exactly the class of bug behind stale-attribute and
     lost-callback races in the Spritely/Kent protocols.
 
-    The pass tracks let-bound direct mutable reads through an
-    environment, marks every live binding "crossed" at each blocking
-    application (including calls to module-local wrappers that
-    themselves block, found by a per-module fixpoint), and reports the
-    first use of a crossed binding. Lambdas handed to deferring
-    primitives ([Engine.spawn]/[after]/[at], [Metrics.register_poll])
-    run later in a fresh task, so they are analysed with a fresh
-    environment and do not block the spawning code. Scoped to [lib/].
+    Blocking-ness of an application head is judged through the
+    whole-program call graph: a head that resolves to a tree binding is
+    trusted to its inferred may-yield summary (so a cross-library
+    wrapper around [Rpc.call] is caught, and a pure function that
+    merely shares a primitive's name is not), and only unresolvable
+    heads fall back to the primitive suffix vocabulary.
 
-    Claim-and-clear exemption: overwriting the source field (or ref)
-    before the first blocking point — [let xid = t.next_xid in
-    t.next_xid <- xid + 1], or take-and-clear of a pending list —
-    transfers ownership of the old value to the binding, which is then
-    deliberately a snapshot, not a cached view, and is not flagged. *)
+    The environment machinery is unchanged: let-bound direct mutable
+    reads are tracked, every live binding is marked "crossed" at each
+    blocking application, and the first use of a crossed binding is
+    reported. Lambdas handed to deferring primitives
+    ([Engine.spawn]/[after]/[at], [Metrics.register_poll]) run later in
+    a fresh task, so they are analysed with a fresh environment.
+    Claim-and-clear and bump-cell stores stay exempt. Scope: [lib/],
+    [bench/] and [examples/]. *)
 
 val pass : Pass.t
+
+val intra : Pass.ctx -> Finding.t list
+(** the legacy judgement — primitive suffixes plus the same-module
+    wrapper fixpoint only, no call graph. Kept so the test suite can
+    prove the cross-library races that only [pass] sees. *)

@@ -1,0 +1,11 @@
+(** SARIF 2.1.0 export for CI code-scanning upload.
+
+    [to_string ~rules findings] renders one SARIF run for the
+    [snfs_lint] tool: [rules] are [(id, shortDescription)] pairs (the
+    pass registry plus the [parse-error] pseudo-rule), results carry
+    the finding message, 1-based line and — converted from the
+    compiler's 0-based convention — 1-based column. The output is
+    byte-deterministic for identical inputs: fixed field order, rules
+    sorted by id, no timestamps, no absolute paths. *)
+
+val to_string : rules:(string * string) list -> Finding.t list -> string

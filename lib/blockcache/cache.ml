@@ -546,6 +546,8 @@ let flush_file ?(ctx = Obs.Causal.none) t ~file =
       |> List.sort (fun a b -> compare a.bindex b.bindex)
     in
     if dirty <> [] then begin
+      (* a per-file flush is protocol-required work, not table fan-out *)
+      (* snfs-fanout: bounded — the dirty blocks of a single file *)
       List.iter (fun b -> do_writeback ~ctx t b) dirty;
       loop () (* a write may have landed while we were flushing *)
     end

@@ -82,6 +82,7 @@ let due t ~now =
 let forget t ~client = Hashtbl.remove t.entries client
 
 let counts t =
+  (* snfs-fanout: bounded — non-blocking metrics fold on the poll timer *)
   Hashtbl.fold
     (fun _ e (courtesy, expirable) ->
       if e.e_expirable then (courtesy, expirable + 1)

@@ -341,6 +341,7 @@ let readdir ?ctx t ~dir =
   for index = 0 to nblocks - 1 do
     ignore (Blockcache.Cache.read ?ctx t.cache ~file:d.i_ino ~index)
   done;
+  (* snfs-fanout: bounded — one directory's entries; readdir is O(entries) *)
   Hashtbl.fold (fun name _ acc -> name :: acc) entries []
   |> List.sort String.compare
 

@@ -279,6 +279,7 @@ let handle_basic c ~caller ~ctx ~proc d =
     else if proc = p_getattr then begin
       let fh = dec_fh d in
       check_fh c fh;
+      (* snfs-lint: allow yield-race — fs is set at server creation *)
       let attrs = Localfs.getattr ~ctx fs fh.ino in
       let e = ok_enc () in
       enc_attrs e attrs;

@@ -134,6 +134,8 @@ let send_close t ctx g ~write =
 let release_unsent t ctx g =
   let unsent = g.g_unsent in
   g.g_unsent <- [];
+  (* delayed close (Section 6.2) accumulates at most a handful *)
+  (* snfs-fanout: bounded — the withheld closes of one open-file record *)
   List.iter (fun u -> send_close t ctx g ~write:u.u_write) unsent
 
 let add_unsent t g ~write =
@@ -433,6 +435,8 @@ let handle_callback t dec =
 (* ---- crash recovery (Section 2.4) ---- *)
 
 let build_reports t =
+  (* the reopen protocol (Section 2.4) reports the full per-client state *)
+  (* snfs-fanout: bounded — one-shot crash-recovery sweep, not steady state *)
   Hashtbl.fold
     (fun _ g acc ->
       let unsent_reads =

@@ -4,15 +4,29 @@
    right rule, on an inline fixture) and on the corresponding clean
    variant (no finding). Fixtures are inline strings fed through
    Driver.analyze, so nothing here can leak into the real tree scan.
-   Also covers waivers, the baseline file, parse-error reporting,
-   byte-identical JSON output across runs, and the property @lint
-   enforces: the built source tree itself is clean. *)
+   The whole-program substrate gets its own unit tests (call-graph
+   resolution through aliases, opens, wrapper prefixes and functor
+   application), and the interprocedural yield-race pass is proven
+   strictly stronger than the legacy per-module judgement on a
+   cross-library fixture. Also covers waivers, the baseline file,
+   parse-error reporting, byte-identical JSON and SARIF output across
+   runs, per-pass stats under an injected clock, and the property
+   @lint enforces: the built source tree is clean modulo the committed
+   fan-out baseline. *)
 
 module D = Analysis.Driver
 module F = Analysis.Finding
 module B = Analysis.Baseline
+module C = Analysis.Callgraph
 
 let input path src = { D.path; src }
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let cg_of inputs = (D.context inputs).Analysis.Pass.cg
 
 let run inputs = (D.analyze inputs).D.findings
 
@@ -129,6 +143,78 @@ let test_hashtbl_order_no_sink () =
       input "lib/srv/cb.ml"
         "let size t = Hashtbl.fold (fun _ _ n -> n + 1) t.blocks 0\n";
     ]
+
+(* ---- callgraph ---- *)
+
+let test_callgraph_nodes_and_edges () =
+  let cg =
+    cg_of
+      [
+        input "lib/x/a.ml" "let f x = x + 1\nlet g y = f y\n";
+        input "lib/x/b.ml" "module X = A\nlet h y = X.f y\n";
+        input "lib/x/c.ml" "open A\nlet k y = f (A.g y)\n";
+      ]
+  in
+  (match C.find cg "A.f" with
+  | Some n ->
+      Alcotest.(check string) "node file" "lib/x/a.ml" n.C.path;
+      Alcotest.(check int) "node line" 1 n.C.line
+  | None -> Alcotest.fail "A.f missing from the graph");
+  Alcotest.(check (list string)) "bare ident resolves in-module" [ "A.f" ]
+    (C.refs cg "A.g");
+  Alcotest.(check (list string)) "module alias resolves" [ "A.f" ]
+    (C.refs cg "B.h");
+  Alcotest.(check (list string)) "open brings bare idents in scope"
+    [ "A.f"; "A.g" ] (C.refs cg "C.k")
+
+let test_callgraph_wrapper_and_defer () =
+  let cg =
+    cg_of
+      [
+        input "lib/net/rpc.ml" "let send rpc x = (rpc, x)\nlet call rpc x = send rpc x\n";
+        input "lib/u/user.ml"
+          "let tick () = ()\n\
+           let go rpc e =\n\
+          \  Sim.Engine.spawn e ~name:\"bg\" (fun () -> tick ());\n\
+          \  Netsim.Rpc.call rpc 1\n";
+      ]
+  in
+  (* [Netsim.Rpc.call]: no module [Netsim] in the tree, so the unknown
+     wrapper prefix is dropped until the tree module [Rpc] matches *)
+  Alcotest.(check (list string)) "wrapper prefix dropped" [ "Rpc.call" ]
+    (C.resolve_in cg ~node:"User.go" [ "Netsim"; "Rpc"; "call" ]);
+  Alcotest.(check (list string)) "spawned thunk excluded from sync refs"
+    [ "Rpc.call" ]
+    (C.sync_refs cg "User.go");
+  Alcotest.(check (list string)) "but still present in full refs"
+    [ "Rpc.call"; "User.tick" ]
+    (C.refs cg "User.go")
+
+let test_callgraph_functor () =
+  let cg =
+    cg_of
+      [
+        input "lib/x/impl.ml" "let v () = 1\n";
+        input "lib/x/f.ml"
+          "module Make (S : sig val v : unit -> int end) = struct\n\
+          \  let get () = S.v ()\n\
+           end\n";
+        input "lib/x/user.ml" "module M = F.Make (Impl)\nlet go () = M.get ()\n";
+      ]
+  in
+  (* parameter-qualified references are over-approximated against every
+     module the functor is applied to anywhere in the tree *)
+  Alcotest.(check (list string)) "functor argument substituted"
+    [ "Impl.v" ]
+    (C.refs cg "F.Make.get");
+  Alcotest.(check (list string)) "application alias resolves into the functor"
+    [ "F.Make.get" ]
+    (C.refs cg "User.go");
+  let closure = C.reachable cg [ ("root", "User.go") ] in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) ("reaches " ^ id) true (Hashtbl.mem closure id))
+    [ "User.go"; "F.Make.get"; "Impl.v" ]
 
 (* ---- yield-race ---- *)
 
@@ -310,6 +396,102 @@ let test_yield_race_wrapper_idioms () =
         \  f p\n";
     ]
 
+let cross_library_race =
+  (* a blocking wrapper in one library, the stale read in another: only
+     the call-graph judgement can see that [Wrap.call] reaches
+     [Rpc.call] *)
+  [
+    input "lib/a/wrap.ml" "let call rpc x = Netsim.Rpc.call rpc x\n";
+    input "lib/b/user.ml"
+      (gnode_type
+     ^ "let refresh t g =\n\
+        \  let v = g.g_version in\n\
+        \  let r = Wrap.call t.rpc g in\n\
+        \  apply t r v\n");
+  ]
+
+let test_yield_race_cross_library () =
+  (* the legacy per-module judgement (primitive suffixes plus the
+     same-module fixpoint) provably misses the race... *)
+  (match Analysis.Pass_yield_race.intra (D.context cross_library_race) with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.fail
+        ("the per-module judgement should miss this: " ^ F.to_string f));
+  (* ...and the interprocedural pass catches it *)
+  check_fires "cross-library wrapper race" "yield-race" cross_library_race
+
+let test_yield_race_cross_library_pure_wrapper () =
+  (* the flip side: a resolved wrapper that does NOT block is trusted,
+     where the old suffix heuristic had nothing to say either way *)
+  check_quiet "pure cross-library wrapper" "yield-race"
+    [
+      input "lib/a/wrap.ml" "let stamp rpc x = (rpc, x)\n";
+      input "lib/b/user.ml"
+        (gnode_type
+       ^ "let refresh t g =\n\
+          \  let v = g.g_version in\n\
+          \  let r = Wrap.stamp t.rpc g in\n\
+          \  apply t r v\n");
+    ]
+
+(* ---- yield-iter ---- *)
+
+let test_yield_iter_seeded () =
+  check_fires "primitive yield inside Hashtbl.iter" "yield-iter"
+    [
+      input "lib/snfs/bcast.ml"
+        "let recall t e = Hashtbl.iter (fun _ c -> Sim.Engine.sleep e 0.1) \
+         t.clients\n";
+    ];
+  check_fires "blocking fold over the live table" "yield-iter"
+    [
+      input "lib/snfs/bcast.ml"
+        "let sum t rpc = Hashtbl.fold (fun _ c n -> n + Netsim.Rpc.call rpc \
+         c) t.clients 0\n";
+    ]
+
+let test_yield_iter_interprocedural () =
+  check_fires "cross-library wrapper judged blocking" "yield-iter"
+    [
+      input "lib/a/wrap.ml" "let call rpc x = Netsim.Rpc.call rpc x\n";
+      input "lib/b/user.ml"
+        "let recall t rpc = Hashtbl.iter (fun _ c -> Wrap.call rpc c) \
+         t.clients\n";
+    ];
+  (* a partially applied element function is judged by its head *)
+  check_fires "partially applied element function" "yield-iter"
+    [
+      input "lib/snfs/bcast.ml"
+        "let ping rpc _k c = Netsim.Rpc.call rpc c\n\
+         let recall t rpc = Hashtbl.iter (ping rpc) t.clients\n";
+    ]
+
+let test_yield_iter_clean () =
+  check_quiet "pure element function" "yield-iter"
+    [
+      input "lib/a/x.ml"
+        "let size t = Hashtbl.fold (fun _ _ n -> n + 1) t.tbl 0\n";
+    ];
+  check_quiet "resolved pure wrapper is trusted" "yield-iter"
+    [
+      input "lib/a/wrap.ml" "let send _rpc x = x\n";
+      input "lib/a/x.ml"
+        "let walk t rpc = Hashtbl.iter (fun _ c -> Wrap.send rpc c) t.tbl\n";
+    ];
+  check_quiet "snapshot-then-iterate idiom" "yield-iter"
+    [
+      input "lib/a/x.ml"
+        "let recall t rpc =\n\
+        \  let cs = Hashtbl.fold (fun _ c acc -> c :: acc) t.clients [] in\n\
+        \  List.iter (fun c -> Netsim.Rpc.call rpc c) cs\n";
+    ];
+  check_quiet "test/ is out of scope" "yield-iter"
+    [
+      input "test/t.ml"
+        "let recall t e = Hashtbl.iter (fun _ c -> Sim.Engine.sleep e c) t.x\n";
+    ]
+
 (* ---- domain-safety ---- *)
 
 let test_domain_safety_sweep_leak () =
@@ -393,6 +575,122 @@ let test_domain_safety_clean_variants () =
         \      acc := c + !acc;\n\
         \      !acc)\n\
         \    cs\n";
+    ]
+
+(* ---- fanout ---- *)
+
+let test_fanout_table_iter () =
+  check_fires "Hashtbl.iter on the dispatch path" "fanout"
+    [
+      input "lib/srv/server.ml"
+        "let handle t q = Hashtbl.iter (fun _ c -> touch c q) t.clients\n\
+         let serve rpc host t = Netsim.Rpc.serve rpc host (fun q -> handle \
+         t q)\n";
+    ]
+
+let test_fanout_blocking_per_element () =
+  match
+    rule_findings "fanout"
+      [
+        input "lib/srv/server.ml"
+          "let notify rpc c = Netsim.Rpc.call rpc c\n\
+           let recall t rpc = Hashtbl.iter (fun _ c -> notify rpc c) \
+           t.opens\n\
+           let serve rpc host t = Netsim.Rpc.serve rpc host (fun q -> \
+           recall t rpc)\n";
+      ]
+  with
+  | [ f ] ->
+      Alcotest.(check bool) "costed as a blocking fan-out" true
+        (contains_sub f.F.message "blocking call per element");
+      Alcotest.(check int) "at the broadcast line" 2 f.F.line
+  | fs ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly the broadcast, got %d findings"
+           (List.length fs))
+
+let test_fanout_projection () =
+  let fs =
+    rule_findings "fanout"
+      [
+        input "lib/srv/table.ml"
+          "let files t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl []\n";
+        input "lib/srv/server.ml"
+          "let sweep t = List.iter (fun f -> note f) (Table.files t)\n\
+           let serve rpc host t = Netsim.Rpc.serve rpc host (fun q -> sweep \
+           t)\n";
+      ]
+  in
+  Alcotest.(check int) "List.iter over the projection is flagged" 1
+    (List.length
+       (List.filter
+          (fun f ->
+            f.F.path = "lib/srv/server.ml"
+            && contains_sub f.F.message "table projection 'Table.files'")
+          fs));
+  (* the projection itself folds the live table and is server-reachable
+     through [sweep], so its own site is flagged too *)
+  Alcotest.(check bool) "the fold inside the projection is also flagged" true
+    (List.exists (fun f -> f.F.path = "lib/srv/table.ml") fs)
+
+let test_fanout_cross_file_handler () =
+  match
+    rule_findings "fanout"
+      [
+        input "lib/srv/dispatch.ml"
+          "let handle t q = Hashtbl.iter (fun _ c -> touch c q) t.clients\n";
+        input "lib/srv/boot.ml"
+          "let start rpc host t = Netsim.Rpc.serve rpc host (Dispatch.handle \
+           t)\n";
+      ]
+  with
+  | [ f ] ->
+      Alcotest.(check string) "flagged in the handler's own file"
+        "lib/srv/dispatch.ml" f.F.path;
+      Alcotest.(check bool) "message names the serving root" true
+        (contains_sub f.F.message "Boot.start")
+  | fs ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly the handler iteration, got %d"
+           (List.length fs))
+
+let test_fanout_bounded_waiver () =
+  let waived =
+    "let handle t q =\n\
+    \  (* snfs-fanout: bounded — at most the three wired replicas *)\n\
+    \  Hashtbl.iter (fun _ c -> touch c q) t.clients\n\
+     let serve rpc host t = Netsim.Rpc.serve rpc host (fun q -> handle t q)\n"
+  in
+  Alcotest.(check int) "bounded reason suppresses in place" 0
+    (count "fanout" [ input "lib/srv/server.ml" waived ]);
+  let wrong =
+    "let handle t q =\n\
+    \  (* bounded, promise *)\n\
+    \  Hashtbl.iter (fun _ c -> touch c q) t.clients\n\
+     let serve rpc host t = Netsim.Rpc.serve rpc host (fun q -> handle t q)\n"
+  in
+  Alcotest.(check int) "a comment without the token does not waive" 1
+    (count "fanout" [ input "lib/srv/server.ml" wrong ])
+
+let test_fanout_clean_variants () =
+  check_quiet "no serve application: not a server path" "fanout"
+    [
+      input "lib/cache/sweep.ml"
+        "let handle t q = Hashtbl.iter (fun _ c -> touch c q) t.clients\n";
+    ];
+  check_quiet "plain list iteration is not a projection" "fanout"
+    [
+      input "lib/srv/server.ml"
+        "let sweep names = List.iter (fun f -> note f) names\n\
+         let serve rpc host t = Netsim.Rpc.serve rpc host (fun q -> sweep \
+         t)\n";
+    ];
+  check_quiet "test/ is out of scope" "fanout"
+    [
+      input "test/t.ml"
+        "let handle t q = Hashtbl.iter (fun _ c -> touch c q) t.clients\n\
+         let serve rpc host t = Netsim.Rpc.serve rpc host (fun q -> handle \
+         t q)\n";
     ]
 
 (* ---- hot-alloc ---- *)
@@ -627,8 +925,9 @@ let test_finding_format () =
 let test_registry () =
   Alcotest.(check (list string)) "pass registry"
     [
-      "determinism"; "hashtbl-order"; "yield-race"; "domain-safety";
-      "hot-alloc"; "purity"; "interface-drift"; "missing-mli";
+      "determinism"; "hashtbl-order"; "yield-race"; "yield-iter";
+      "domain-safety"; "fanout"; "hot-alloc"; "purity"; "interface-drift";
+      "missing-mli";
     ]
     (List.map (fun p -> p.Analysis.Pass.name) D.passes)
 
@@ -678,6 +977,78 @@ let test_new_rules_baseline_roundtrip () =
   let fresh, _ = B.apply b [ other_rule ] in
   Alcotest.(check int) "rule is part of the key" 1 (List.length fresh)
 
+let test_stats () =
+  let inputs =
+    [
+      input "lib/a.ml" "let now = Unix.gettimeofday\n";
+      input "lib/a.mli" "val now : unit -> float\n";
+    ]
+  in
+  (* the default clock is a constant, so every duration is exactly 0 —
+     the library stays free of wall clocks (its own pass bans them) *)
+  let r = D.analyze inputs in
+  Alcotest.(check int) "files scanned" 2 r.D.files_scanned;
+  Alcotest.(check int) "one stat per pass" (List.length D.passes)
+    (List.length r.D.stats);
+  let names = List.map (fun s -> s.D.s_pass) r.D.stats in
+  Alcotest.(check (list string)) "stats sorted by pass name"
+    (List.sort compare names) names;
+  List.iter
+    (fun s ->
+      Alcotest.(check (float 1e-9))
+        ("constant clock: " ^ s.D.s_pass)
+        0.0 s.D.s_time_ms)
+    r.D.stats;
+  let det = List.find (fun s -> s.D.s_pass = "determinism") r.D.stats in
+  Alcotest.(check int) "raw finding count" 1 det.D.s_findings;
+  (* a fake clock ticking 0.5 ms per reading: each pass reads it twice,
+     so every pass is charged exactly 0.5 ms — deterministic stats *)
+  let t = ref 0.0 in
+  let clock () =
+    t := !t +. 0.0005;
+    !t
+  in
+  let r2 = D.analyze ~clock inputs in
+  List.iter
+    (fun s ->
+      Alcotest.(check (float 1e-9)) ("ticked: " ^ s.D.s_pass) 0.5 s.D.s_time_ms)
+    r2.D.stats;
+  let rendered = D.stats_to_string r2 in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("stats text has " ^ needle) true
+        (contains_sub rendered needle))
+    [ "files scanned: 2"; "determinism"; "1 finding(s)"; "0.5 ms" ]
+
+let test_sarif_format () =
+  let f =
+    F.v ~path:"lib/a.ml" ~line:3 ~col:4 ~rule:"determinism" "wall \"clock\""
+  in
+  let s = Analysis.Sarif.to_string ~rules:D.rule_docs [ f ] in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("SARIF has " ^ needle) true (contains_sub s needle))
+    [
+      "\"version\": \"2.1.0\"";
+      "\"name\": \"snfs_lint\"";
+      "{\"id\": \"determinism\"";
+      "{\"id\": \"fanout\"";
+      "{\"id\": \"yield-iter\"";
+      "\"ruleId\": \"determinism\"";
+      "\"uri\": \"lib/a.ml\"";
+      (* SARIF columns are 1-based where the compiler's are 0-based *)
+      "\"startLine\": 3, \"startColumn\": 5";
+      "wall \\\"clock\\\"";
+    ]
+
+let test_sarif_deterministic () =
+  (* two full runs over the real tree render byte-identical SARIF *)
+  let render () =
+    Analysis.Sarif.to_string ~rules:D.rule_docs
+      (D.analyze (D.load_tree "..")).D.findings
+  in
+  Alcotest.(check string) "byte-identical SARIF" (render ()) (render ())
+
 let test_json_deterministic () =
   (* two full analyzer runs over the real tree must emit byte-identical
      JSON *)
@@ -687,12 +1058,33 @@ let test_json_deterministic () =
   let a = report () and b = report () in
   Alcotest.(check string) "byte-identical reports" a b
 
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
 let test_tree_is_clean () =
   (* the property @lint enforces, from the test suite's angle: the
-     built source tree has no non-waived findings *)
-  let r = D.analyze (D.load_tree "..") in
+     built source tree has no findings beyond the committed baseline,
+     and the baseline itself is exactly the ROADMAP-item-1 fan-out
+     backlog — every entry a [fanout] finding, none of them stale *)
+  let baseline = B.of_string (read_file "../lint-baseline") in
+  let r = D.analyze ~baseline (D.load_tree "..") in
   List.iter (fun f -> print_endline (F.to_string f)) r.D.fresh;
-  Alcotest.(check int) "repository tree is clean" 0 (List.length r.D.fresh)
+  Alcotest.(check int) "repository tree is clean" 0 (List.length r.D.fresh);
+  Alcotest.(check bool) "the baseline is the fan-out backlog" true
+    (r.D.baselined <> []
+    && List.for_all (fun f -> f.F.rule = "fanout") r.D.baselined);
+  let entries =
+    String.split_on_char '\n' (read_file "../lint-baseline")
+    |> List.filter (fun l ->
+           let l = String.trim l in
+           l <> "" && l.[0] <> '#')
+  in
+  Alcotest.(check int) "no stale baseline entries" (List.length entries)
+    (List.length r.D.baselined)
 
 let () =
   Alcotest.run "analysis"
@@ -720,6 +1112,15 @@ let () =
           Alcotest.test_case "no sink, no finding" `Quick
             test_hashtbl_order_no_sink;
         ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "nodes, aliases and opens" `Quick
+            test_callgraph_nodes_and_edges;
+          Alcotest.test_case "wrapper prefixes and deferred thunks" `Quick
+            test_callgraph_wrapper_and_defer;
+          Alcotest.test_case "functor application" `Quick
+            test_callgraph_functor;
+        ] );
       ( "yield-race",
         [
           Alcotest.test_case "stale read across RPC fires" `Quick
@@ -740,6 +1141,18 @@ let () =
             test_yield_race_bump_cell;
           Alcotest.test_case "clock and DLS wrapper idioms" `Quick
             test_yield_race_wrapper_idioms;
+          Alcotest.test_case "cross-library race: intra misses, pass sees"
+            `Quick test_yield_race_cross_library;
+          Alcotest.test_case "pure cross-library wrapper trusted" `Quick
+            test_yield_race_cross_library_pure_wrapper;
+        ] );
+      ( "yield-iter",
+        [
+          Alcotest.test_case "blocking element fn fires" `Quick
+            test_yield_iter_seeded;
+          Alcotest.test_case "wrappers and partial application" `Quick
+            test_yield_iter_interprocedural;
+          Alcotest.test_case "clean variants" `Quick test_yield_iter_clean;
         ] );
       ( "domain-safety",
         [
@@ -753,6 +1166,21 @@ let () =
             test_domain_safety_dls_ownership;
           Alcotest.test_case "clean variants" `Quick
             test_domain_safety_clean_variants;
+        ] );
+      ( "fanout",
+        [
+          Alcotest.test_case "live table walk on the dispatch path" `Quick
+            test_fanout_table_iter;
+          Alcotest.test_case "blocking fan-out per element" `Quick
+            test_fanout_blocking_per_element;
+          Alcotest.test_case "table projections" `Quick
+            test_fanout_projection;
+          Alcotest.test_case "cross-file handler reachability" `Quick
+            test_fanout_cross_file_handler;
+          Alcotest.test_case "bounded waiver idiom" `Quick
+            test_fanout_bounded_waiver;
+          Alcotest.test_case "clean variants" `Quick
+            test_fanout_clean_variants;
         ] );
       ( "hot-alloc",
         [
@@ -797,8 +1225,14 @@ let () =
           Alcotest.test_case "rule subset filters" `Quick test_rule_filters;
           Alcotest.test_case "new-rule baseline round trip" `Quick
             test_new_rules_baseline_roundtrip;
+          Alcotest.test_case "per-pass stats under an injected clock" `Quick
+            test_stats;
+          Alcotest.test_case "SARIF format" `Quick test_sarif_format;
+          Alcotest.test_case "SARIF output is byte-deterministic" `Quick
+            test_sarif_deterministic;
           Alcotest.test_case "JSON output is byte-deterministic" `Quick
             test_json_deterministic;
-          Alcotest.test_case "tree is clean" `Quick test_tree_is_clean;
+          Alcotest.test_case "tree is clean modulo the fan-out baseline"
+            `Quick test_tree_is_clean;
         ] );
     ]
